@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures by calling the
+same experiment runner the CLI uses, at the ``quick`` scale, and records the
+wall-clock cost with pytest-benchmark.  Runners that involve model training are
+executed with a single round so the whole suite stays within a few minutes;
+re-run with ``--scale paper`` semantics by calling the CLI directly
+(``python -m repro.experiments all --scale paper``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (no warmup) and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Fixture-ised :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

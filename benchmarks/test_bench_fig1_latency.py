@@ -1,0 +1,19 @@
+"""Benchmark / regeneration harness for Figure 1b (layer vs patch latency)."""
+
+from repro.experiments import run_fig1b
+
+
+def test_bench_fig1b_latency_comparison(bench_once):
+    report = bench_once(run_fig1b, scale="quick")
+    rows = report.row_dicts()
+    assert len(rows) == 5
+    # Paper claim: patch-based inference is slower than layer-based on every model.
+    for row in rows:
+        assert row["Patch-based (ms)"] >= row["Layer-based (ms)"]
+    # ...and the increase is in the tens of percent, not orders of magnitude.
+    # (At the quick scale the per-branch launch overhead weighs more than it
+    # does on the paper's full-sized workloads, so the bound is generous.)
+    increases = [row["Increase (%)"] for row in rows]
+    assert all(0.0 <= inc <= 100.0 for inc in increases)
+    print()
+    print(report.to_markdown())

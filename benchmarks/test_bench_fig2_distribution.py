@@ -1,0 +1,14 @@
+"""Benchmark / regeneration harness for Figure 2 (activation distribution)."""
+
+from repro.experiments import run_fig2
+
+
+def test_bench_fig2_distribution(bench_once):
+    report = bench_once(run_fig2, scale="quick")
+    values = dict(report.rows)
+    # A small tail of values must fall outside the non-outlier band.
+    assert 0.0 < values["outlier value fraction"] < 0.25
+    assert values["non-outlier band low"] < values["non-outlier band high"]
+    assert sum(report.extras["histogram"]["counts"]) > 0
+    print()
+    print(report.to_markdown())

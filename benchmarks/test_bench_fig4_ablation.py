@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for Figure 4 (VDPC accuracy ablation)."""
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4_vdpc_ablation(bench_once):
+    report = bench_once(run_fig4, scale="quick", models=["mobilenetv2"], tasks=("classification",))
+    rows = report.row_dicts()
+    assert len(rows) == 1
+    row = rows[0]
+    # The full method must preserve at least as much of the FP32 behaviour as
+    # the ablation that quantizes outlier patches too.
+    assert row["QuantMCU fidelity (%)"] >= row["w/o VDPC fidelity (%)"] - 1e-6
+    assert 0.0 <= row["QuantMCU"] <= 100.0
+    print()
+    print(report.to_markdown())

@@ -1,0 +1,18 @@
+"""Benchmark / regeneration harness for Figure 5 (phi sweep)."""
+
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5_phi_sweep(bench_once):
+    report = bench_once(run_fig5, scale="quick", phi_values=(0.90, 0.96, 0.999))
+    rows = report.row_dicts()
+    assert len(rows) == 3
+    # Protection can only shrink (or stay equal) as phi grows: larger phi means
+    # a wider non-outlier band, hence fewer protected branches.
+    outliers = [row["Outlier branches"] for row in rows]
+    assert outliers == sorted(outliers, reverse=True)
+    # BitOPs move the opposite way: less protection means more quantization.
+    bitops = [row["BitOPs ratio vs 8/8"] for row in rows]
+    assert bitops == sorted(bitops, reverse=True)
+    print()
+    print(report.to_markdown())

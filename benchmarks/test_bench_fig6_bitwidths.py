@@ -1,0 +1,15 @@
+"""Benchmark / regeneration harness for Figure 6 (bitwidth assignment map)."""
+
+from repro.experiments import run_fig6
+
+
+def test_bench_fig6_bitwidth_assignment(bench_once):
+    report = bench_once(run_fig6, scale="quick", models=["mobilenetv2", "mcunet"])
+    rows = report.row_dicts()
+    bit_rows = [row for row in rows if str(row["Feature map"]).startswith("B")]
+    assert bit_rows
+    # Only deployable bitwidths may appear.
+    assert all(row["Bitwidth"] in (2, 4, 8) for row in bit_rows)
+    assert set(report.extras["charts"]) == {"mobilenetv2", "mcunet"}
+    print()
+    print(report.to_markdown())

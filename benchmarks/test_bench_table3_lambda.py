@@ -1,0 +1,16 @@
+"""Benchmark / regeneration harness for Table III (lambda sweep)."""
+
+from repro.experiments import run_table3
+
+
+def test_bench_table3_lambda_sweep(bench_once):
+    report = bench_once(run_table3, scale="quick", lambda_values=(0.2, 0.4, 0.6, 0.8))
+    rows = report.row_dicts()
+    assert len(rows) == 4
+    # Paper shape: BitOPs (and mean bits) rise monotonically with lambda.
+    bitops = [row["BitOPs (M)"] for row in rows]
+    mean_bits = [row["Mean activation bits"] for row in rows]
+    assert bitops == sorted(bitops)
+    assert mean_bits == sorted(mean_bits)
+    print()
+    print(report.to_markdown())

@@ -1,0 +1,70 @@
+"""Device-fitting walkthrough: will this model fit this MCU, and how?
+
+The scenario the paper's introduction motivates: a model whose layer-based
+activation working set does not fit the target MCU.  The script compares every
+execution strategy the repository implements for both boards, prints a Table-I
+style summary, and shows how the patch schedule and the QuantMCU bitwidths
+change between a 256 KB and a 512 KB device.
+
+Run with::
+
+    python examples/deploy_to_device.py
+"""
+
+from __future__ import annotations
+
+from repro import QuantMCUPipeline, build_model
+from repro.baselines import run_cipolletta, run_layer_based, run_mcunetv2, run_rnnpool
+from repro.data import SyntheticImageNet
+from repro.experiments import format_table
+from repro.hardware import ARDUINO_NANO_33_BLE, STM32H743, estimate_patch_based_latency
+from repro.quant import FeatureMapIndex, QuantizationConfig
+
+
+def fit_report(device, resolution: int) -> None:
+    print(f"\n=== {device.name}: MobileNetV2-0.35 @ {resolution}x{resolution} ===")
+    model = build_model("mobilenetv2", resolution=resolution, num_classes=100, width_mult=0.35)
+    fm_index = FeatureMapIndex(model)
+    calib = SyntheticImageNet(num_classes=4, samples_per_class=4, resolution=resolution, seed=3).images
+
+    rows = []
+    layer = run_layer_based(model, device, fm_index=fm_index)
+    fits = "yes" if layer.peak_memory_bytes <= device.sram_bytes else "NO"
+    rows.append(["Layer-Based", round(layer.peak_memory_kb, 1), round(layer.bitops_m, 1),
+                 round(layer.latency_ms, 1), fits])
+
+    for name, runner in [
+        ("MCUNetV2", run_mcunetv2),
+        ("Cipolletta et al.", run_cipolletta),
+        ("RNNPool", run_rnnpool),
+    ]:
+        result = runner(model, device, fm_index=fm_index)
+        fits = "yes" if result.peak_memory_bytes <= device.sram_bytes else "NO"
+        rows.append([name, round(result.peak_memory_kb, 1), round(result.bitops_m, 1),
+                     round(result.latency_ms, 1), fits])
+
+    pipeline = QuantMCUPipeline(model, sram_limit_bytes=int(device.sram_bytes * 0.75))
+    result = pipeline.run(calib)
+    branch_configs = [result.branch_config(b.patch_id) for b in result.branches]
+    latency = estimate_patch_based_latency(
+        result.plan, device,
+        QuantizationConfig(activation_bits=dict(result.suffix_bits)),
+        branch_configs=branch_configs,
+    )
+    fits = "yes" if result.peak_memory_bytes <= device.sram_bytes else "NO"
+    rows.append(["QuantMCU", round(result.peak_memory_kb, 1), round(result.bitops_m, 1),
+                 round(latency.total_ms, 1), fits])
+
+    print(format_table(["Method", "Peak KB", "BitOPs (M)", "Latency (ms)", "Fits SRAM"], rows))
+    print(f"QuantMCU patch grid: {result.plan.num_patches}x{result.plan.num_patches}, "
+          f"split at '{result.plan.split_output_node}', "
+          f"{result.num_outlier_branches}/{len(result.branches)} branches protected at 8-bit")
+
+
+def main() -> None:
+    fit_report(ARDUINO_NANO_33_BLE, resolution=144)
+    fit_report(STM32H743, resolution=176)
+
+
+if __name__ == "__main__":
+    main()

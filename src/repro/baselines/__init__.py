@@ -1,0 +1,36 @@
+"""Baselines: the inference-scheduling methods of Table I / Figure 1b and the
+quantization methods of Table II."""
+
+from .inference_baselines import (
+    INFERENCE_BASELINES,
+    InferenceBaselineResult,
+    run_cipolletta,
+    run_layer_based,
+    run_mcunetv2,
+    run_rnnpool,
+)
+from .quant_baselines import (
+    QUANT_BASELINES,
+    QuantBaselineResult,
+    run_haq,
+    run_hawq_v3,
+    run_pact,
+    run_rusci,
+    run_uniform_baseline,
+)
+
+__all__ = [
+    "InferenceBaselineResult",
+    "run_layer_based",
+    "run_mcunetv2",
+    "run_cipolletta",
+    "run_rnnpool",
+    "INFERENCE_BASELINES",
+    "QuantBaselineResult",
+    "run_uniform_baseline",
+    "run_pact",
+    "run_rusci",
+    "run_haq",
+    "run_hawq_v3",
+    "QUANT_BASELINES",
+]

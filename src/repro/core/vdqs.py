@@ -1,0 +1,201 @@
+"""Value-driven quantization search (VDQS) — the paper's Algorithm 1.
+
+Given a dataflow branch of ``N + 1`` feature maps, candidate bitwidths for each
+and an SRAM budget ``M``, the search:
+
+1. computes the quantization score of every (feature map, bitwidth) pair and
+   initialises each feature map with its best-scoring bitwidth;
+2. while some adjacent pair violates the memory constraint
+   ``Mem(i, b_i) + Mem(i+1, b_{i+1}) <= M`` (Equation 7), performs two repair
+   sweeps over the branch: the first adjusts the *latter* feature map of each
+   violating pair, the second adjusts the *former*; an adjustment moves the
+   feature map to its next-best bitwidth by score.
+
+The published pseudo-code leaves two corner cases open, which this
+implementation resolves explicitly (and documents so the deviation is
+auditable):
+
+* a repair step only applies when it actually reduces that feature map's
+  memory (moving to the next-best *score* can otherwise increase memory and
+  loop forever);
+* if a full pair of sweeps changes nothing and the constraint is still
+  violated, the branch is infeasible under the candidate set and the search
+  stops with ``converged=False`` (every feature map is then pinned to its
+  smallest-memory candidate).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..quant.quantizers import SUPPORTED_BITWIDTHS
+from .score import QuantizationScoreCalculator
+
+__all__ = ["BitwidthCandidate", "BranchItem", "VDQSResult", "bitwidth_search", "build_branch_items"]
+
+
+@dataclass(frozen=True)
+class BitwidthCandidate:
+    """One candidate bitwidth for one feature map."""
+
+    bits: int
+    score: float
+    memory_bytes: int
+
+
+@dataclass
+class BranchItem:
+    """Search state for one feature map of a dataflow branch."""
+
+    feature_map: int
+    candidates: list[BitwidthCandidate]
+
+    def sorted_candidates(self) -> list[BitwidthCandidate]:
+        """Candidates in descending score order (the paper's ``t_1..t_m``)."""
+        return sorted(self.candidates, key=lambda c: c.score, reverse=True)
+
+    def candidate_for(self, bits: int) -> BitwidthCandidate:
+        for cand in self.candidates:
+            if cand.bits == bits:
+                return cand
+        raise KeyError(f"no candidate with {bits} bits")
+
+
+@dataclass
+class VDQSResult:
+    """Outcome of a bitwidth search."""
+
+    bitwidths: list[int]
+    converged: bool
+    iterations: int
+    search_seconds: float
+    scores: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def mean_bits(self) -> float:
+        """Average assigned bitwidth over the branch."""
+        return sum(self.bitwidths) / len(self.bitwidths) if self.bitwidths else 0.0
+
+
+def build_branch_items(
+    feature_maps: list[int],
+    calculator: QuantizationScoreCalculator,
+    memory_fn,
+    candidate_bits: tuple[int, ...] = SUPPORTED_BITWIDTHS,
+) -> list[BranchItem]:
+    """Build the per-feature-map search state for a dataflow branch.
+
+    Parameters
+    ----------
+    feature_maps:
+        Feature-map indices along the branch, in dataflow order.
+    calculator:
+        Quantization score calculator (shared across branches).
+    memory_fn:
+        ``memory_fn(feature_map, bits) -> bytes`` — the ``Mem(i, b)`` used by
+        the constraint.  For whole-model searches this is the full feature-map
+        size; for patch branches it is the branch's clamped region size.
+    candidate_bits:
+        The ``m`` candidate bitwidths (8, 4, 2 in the paper).
+    """
+    items = []
+    for fm in feature_maps:
+        candidates = [
+            BitwidthCandidate(
+                bits=bits,
+                score=calculator.score(fm, bits),
+                memory_bytes=int(memory_fn(fm, bits)),
+            )
+            for bits in sorted(candidate_bits, reverse=True)
+        ]
+        items.append(BranchItem(feature_map=fm, candidates=candidates))
+    return items
+
+
+def _violations(items: list[BranchItem], bits: list[int], memory_limit: int) -> list[int]:
+    """Indices ``i`` where the adjacent pair (i, i+1) violates Equation 7."""
+    bad = []
+    for i in range(len(items) - 1):
+        mem_i = items[i].candidate_for(bits[i]).memory_bytes
+        mem_next = items[i + 1].candidate_for(bits[i + 1]).memory_bytes
+        if mem_i + mem_next > memory_limit:
+            bad.append(i)
+    return bad
+
+
+def _repair_sweep(
+    items: list[BranchItem],
+    bits: list[int],
+    memory_limit: int,
+    adjust_latter: bool,
+) -> bool:
+    """One TRAVERSE pass of Algorithm 1.  Returns True if any bitwidth changed."""
+    changed = False
+    for i in range(len(items) - 1):
+        mem_i = items[i].candidate_for(bits[i]).memory_bytes
+        mem_next = items[i + 1].candidate_for(bits[i + 1]).memory_bytes
+        if mem_i + mem_next <= memory_limit:
+            continue
+        target = i + 1 if adjust_latter else i
+        other = i if adjust_latter else i + 1
+        # Only adjust the target when it is at least as memory-hungry as the
+        # other member of the pair (the paper's Mem(i, b_i) <= Mem(i+r, b_{i+r})
+        # guard, which avoids shrinking the already-small side).
+        target_mem = items[target].candidate_for(bits[target]).memory_bytes
+        other_mem = items[other].candidate_for(bits[other]).memory_bytes
+        if target_mem < other_mem:
+            continue
+        ordered = items[target].sorted_candidates()
+        current_idx = next(
+            idx for idx, cand in enumerate(ordered) if cand.bits == bits[target]
+        )
+        for cand in ordered[current_idx + 1 :]:
+            if cand.memory_bytes < target_mem:
+                bits[target] = cand.bits
+                changed = True
+                break
+    return changed
+
+
+def bitwidth_search(
+    items: list[BranchItem],
+    memory_limit: int,
+    max_iterations: int = 64,
+) -> VDQSResult:
+    """Run Algorithm 1 on one dataflow branch.
+
+    Returns the assigned bitwidth per feature map (same order as ``items``).
+    """
+    start = time.perf_counter()
+    scores = {
+        (item.feature_map, cand.bits): cand.score for item in items for cand in item.candidates
+    }
+    # Step 1: initialise with the best-scoring candidate per feature map.
+    bits = [item.sorted_candidates()[0].bits for item in items]
+
+    converged = True
+    iterations = 0
+    while _violations(items, bits, memory_limit):
+        iterations += 1
+        changed = _repair_sweep(items, bits, memory_limit, adjust_latter=True)
+        changed |= _repair_sweep(items, bits, memory_limit, adjust_latter=False)
+        if not changed or iterations >= max_iterations:
+            # Infeasible under the candidate set: pin everything to the
+            # smallest-memory candidate and report non-convergence if the
+            # constraint still cannot be met.
+            for idx, item in enumerate(items):
+                smallest = min(item.candidates, key=lambda c: c.memory_bytes)
+                bits[idx] = smallest.bits
+            converged = not _violations(items, bits, memory_limit)
+            break
+
+    elapsed = time.perf_counter() - start
+    result = VDQSResult(
+        bitwidths=list(bits),
+        converged=converged,
+        iterations=iterations,
+        search_seconds=elapsed,
+        scores=scores,
+    )
+    return result

@@ -1,0 +1,28 @@
+"""Synthetic datasets and evaluation metrics."""
+
+from .metrics import (
+    average_precision,
+    box_map,
+    iou,
+    mean_average_precision,
+    prediction_fidelity,
+    top1_accuracy,
+    top5_accuracy,
+    top_k_accuracy,
+)
+from .synthetic import ClassificationDataset, DetectionDataset, SyntheticImageNet, SyntheticVOC
+
+__all__ = [
+    "ClassificationDataset",
+    "DetectionDataset",
+    "SyntheticImageNet",
+    "SyntheticVOC",
+    "top_k_accuracy",
+    "top1_accuracy",
+    "top5_accuracy",
+    "prediction_fidelity",
+    "average_precision",
+    "mean_average_precision",
+    "iou",
+    "box_map",
+]

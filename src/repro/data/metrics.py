@@ -1,0 +1,152 @@
+"""Evaluation metrics.
+
+Classification uses Top-1/Top-5 accuracy as in the paper; detection uses mean
+average precision.  Because the reproduction's detection pipeline is the
+classification-style proxy documented in DESIGN.md (class presence scored per
+image), ``mean_average_precision`` implements the standard ranking-based AP
+over per-class scores, and ``box_map`` additionally provides a conventional
+IoU-matched AP for callers that do produce boxes.
+
+``prediction_fidelity`` measures agreement between a quantized model and its
+full-precision reference — the laptop-scale proxy for "accuracy loss due to
+quantization" used throughout the experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "top_k_accuracy",
+    "top1_accuracy",
+    "top5_accuracy",
+    "prediction_fidelity",
+    "average_precision",
+    "mean_average_precision",
+    "iou",
+    "box_map",
+]
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose true label is among the top-``k`` scores."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be (N, num_classes)")
+    k = min(k, logits.shape[1])
+    topk = np.argsort(-logits, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy."""
+    return top_k_accuracy(logits, labels, k=1)
+
+
+def top5_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-5 accuracy."""
+    return top_k_accuracy(logits, labels, k=5)
+
+
+def prediction_fidelity(logits: np.ndarray, reference_logits: np.ndarray) -> float:
+    """Fraction of samples where the quantized and reference models agree on the argmax."""
+    if logits.shape != reference_logits.shape:
+        raise ValueError("logit shapes must match")
+    return float((logits.argmax(axis=1) == reference_logits.argmax(axis=1)).mean())
+
+
+def average_precision(scores: np.ndarray, targets: np.ndarray) -> float:
+    """Ranking average precision for one class.
+
+    Parameters
+    ----------
+    scores:
+        Predicted confidence for the class, one per sample.
+    targets:
+        Binary ground-truth presence, one per sample.
+    """
+    targets = np.asarray(targets, dtype=bool)
+    if targets.sum() == 0:
+        return 0.0
+    order = np.argsort(-np.asarray(scores))
+    sorted_targets = targets[order]
+    cum_tp = np.cumsum(sorted_targets)
+    precision = cum_tp / (np.arange(len(sorted_targets)) + 1)
+    return float((precision * sorted_targets).sum() / targets.sum())
+
+
+def mean_average_precision(scores: np.ndarray, targets: np.ndarray) -> float:
+    """Mean AP over classes for per-image class-presence predictions.
+
+    ``scores`` and ``targets`` are ``(N, num_classes)``; classes with no
+    positive ground truth are skipped.
+    """
+    scores = np.asarray(scores)
+    targets = np.asarray(targets)
+    if scores.shape != targets.shape:
+        raise ValueError("scores and targets must have the same shape")
+    aps = []
+    for class_id in range(scores.shape[1]):
+        if targets[:, class_id].sum() == 0:
+            continue
+        aps.append(average_precision(scores[:, class_id], targets[:, class_id]))
+    return float(np.mean(aps)) if aps else 0.0
+
+
+def iou(box_a: tuple[int, int, int, int], box_b: tuple[int, int, int, int]) -> float:
+    """Intersection-over-union of two ``(row0, col0, row1, col1)`` boxes."""
+    r0 = max(box_a[0], box_b[0])
+    c0 = max(box_a[1], box_b[1])
+    r1 = min(box_a[2], box_b[2])
+    c1 = min(box_a[3], box_b[3])
+    inter = max(r1 - r0, 0) * max(c1 - c0, 0)
+    area_a = (box_a[2] - box_a[0]) * (box_a[3] - box_a[1])
+    area_b = (box_b[2] - box_b[0]) * (box_b[3] - box_b[1])
+    union = area_a + area_b - inter
+    return inter / union if union > 0 else 0.0
+
+
+def box_map(
+    predictions: list[list[tuple[int, float, tuple[int, int, int, int]]]],
+    ground_truth: list[list[tuple[int, tuple[int, int, int, int]]]],
+    num_classes: int,
+    iou_threshold: float = 0.5,
+) -> float:
+    """Conventional IoU-matched mAP.
+
+    ``predictions[i]`` is a list of ``(class_id, score, box)`` for image ``i``;
+    ``ground_truth[i]`` is a list of ``(class_id, box)``.
+    """
+    aps = []
+    for class_id in range(num_classes):
+        records = []  # (score, is_true_positive)
+        total_gt = 0
+        for preds, gts in zip(predictions, ground_truth):
+            class_gts = [box for cid, box in gts if cid == class_id]
+            total_gt += len(class_gts)
+            matched = [False] * len(class_gts)
+            class_preds = sorted(
+                [(score, box) for cid, score, box in preds if cid == class_id],
+                key=lambda item: -item[0],
+            )
+            for score, box in class_preds:
+                best_iou, best_idx = 0.0, -1
+                for gt_idx, gt_box in enumerate(class_gts):
+                    overlap = iou(box, gt_box)
+                    if overlap > best_iou:
+                        best_iou, best_idx = overlap, gt_idx
+                if best_iou >= iou_threshold and best_idx >= 0 and not matched[best_idx]:
+                    matched[best_idx] = True
+                    records.append((score, True))
+                else:
+                    records.append((score, False))
+        if total_gt == 0:
+            continue
+        if not records:
+            aps.append(0.0)
+            continue
+        records.sort(key=lambda item: -item[0])
+        flags = np.array([flag for _, flag in records], dtype=bool)
+        cum_tp = np.cumsum(flags)
+        precision = cum_tp / (np.arange(len(flags)) + 1)
+        aps.append(float((precision * flags).sum() / total_gt))
+    return float(np.mean(aps)) if aps else 0.0

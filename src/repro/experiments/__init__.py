@@ -1,0 +1,77 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Every runner takes a scale preset (``"quick"`` or ``"paper"``) and returns an
+:class:`~repro.experiments.reporting.ExperimentReport`; the CLI
+(``python -m repro.experiments <name>``) and the pytest benchmarks call the
+same functions, so the regenerated tables can never drift from the benchmarked
+code paths.
+"""
+
+from .common import (
+    AccuracyResult,
+    TrainedModel,
+    accuracy_from_logits,
+    calibration_images,
+    clear_model_cache,
+    evaluate_config,
+    evaluate_patch_quantized,
+    get_trained_model,
+    make_classification_dataset,
+    make_detection_dataset,
+)
+from .fig1_latency import FIG1_MODELS, run_fig1b
+from .fig2_distribution import run_fig2
+from .fig4_vdpc_ablation import FIG4_MODELS_FULL, FIG4_MODELS_QUICK, run_fig4
+from .fig5_phi_sweep import DEFAULT_PHI_VALUES, run_fig5
+from .fig6_bitwidth_map import FIG6_MODELS, run_fig6
+from .presets import PAPER, QUICK, ExperimentScale, get_scale
+from .reporting import ExperimentReport, format_table
+from .table1_comparison import run_table1
+from .table2_quant_methods import run_table2
+from .table3_lambda_sweep import DEFAULT_LAMBDA_VALUES, run_table3
+
+#: All experiment runners keyed by the identifier used on the CLI.
+EXPERIMENTS = {
+    "fig1b": run_fig1b,
+    "fig2": run_fig2,
+    "table1": run_table1,
+    "fig4": run_fig4,
+    "table2": run_table2,
+    "fig5": run_fig5,
+    "table3": run_table3,
+    "fig6": run_fig6,
+}
+
+__all__ = [
+    "ExperimentReport",
+    "format_table",
+    "ExperimentScale",
+    "get_scale",
+    "QUICK",
+    "PAPER",
+    "EXPERIMENTS",
+    "run_fig1b",
+    "run_fig2",
+    "run_table1",
+    "run_fig4",
+    "run_table2",
+    "run_fig5",
+    "run_table3",
+    "run_fig6",
+    "FIG1_MODELS",
+    "FIG4_MODELS_FULL",
+    "FIG4_MODELS_QUICK",
+    "FIG6_MODELS",
+    "DEFAULT_PHI_VALUES",
+    "DEFAULT_LAMBDA_VALUES",
+    "TrainedModel",
+    "AccuracyResult",
+    "accuracy_from_logits",
+    "get_trained_model",
+    "clear_model_cache",
+    "evaluate_config",
+    "evaluate_patch_quantized",
+    "calibration_images",
+    "make_classification_dataset",
+    "make_detection_dataset",
+]

@@ -1,0 +1,66 @@
+"""Command-line entry point for the experiment runners.
+
+Examples
+--------
+Run one experiment at the quick scale::
+
+    python -m repro.experiments table1
+
+Run the full evaluation at paper scale and write EXPERIMENTS-style output::
+
+    python -m repro.experiments all --scale paper --output results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS.keys(), "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=["quick", "paper"],
+        help="workload scale preset (default: quick)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="optional path to append the markdown report(s) to",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reports = []
+    for name in names:
+        start = time.perf_counter()
+        report = EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(report.to_markdown())
+        print(f"\n[{name} completed in {elapsed:.1f}s at scale '{args.scale}']\n")
+        reports.append(report)
+
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as handle:
+            for report in reports:
+                handle.write(report.to_markdown())
+                handle.write("\n\n")
+        print(f"appended {len(reports)} report(s) to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

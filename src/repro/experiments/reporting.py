@@ -1,0 +1,80 @@
+"""Report formatting shared by every experiment runner.
+
+Each experiment returns a list of row dicts plus column metadata; this module
+renders them as aligned ASCII/markdown tables so the CLI output can be pasted
+next to the paper's tables, and EXPERIMENTS.md can be regenerated from code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentReport", "format_table"]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list[Any]]) -> str:
+    """Render a GitHub-markdown table with aligned columns."""
+    str_rows = [[_format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = "| " + " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)) + " |"
+    separator = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    body = [
+        "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + " |"
+        for row in str_rows
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform container for an experiment's output.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"table1"``).
+    title:
+        Human-readable description shown above the table.
+    headers / rows:
+        Tabular results.
+    notes:
+        Free-form caveats (scale used, substitutions, etc.).
+    extras:
+        Additional structured data (e.g. histogram arrays for Figure 2).
+    """
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: list[str] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def to_markdown(self) -> str:
+        """Render the report as a markdown section."""
+        parts = [f"### {self.title}", "", format_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"- {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def row_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by header."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_markdown()

@@ -1,0 +1,155 @@
+"""Table I: QuantMCU vs layer-based and patch-based inference methods.
+
+For every (device, task) combination the paper reports peak memory, BitOPs and
+inference latency of layer-based execution, three patch-based baselines
+(MCUNetV2, Cipolletta et al., RNNPool) and QuantMCU on MobileNetV2 (the
+detection rows use an SSD-style head on the same backbone).  This runner
+reproduces the full grid with the analytic cost models; QuantMCU additionally
+runs its calibration pass on synthetic images at the same resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.inference_baselines import (
+    run_cipolletta,
+    run_layer_based,
+    run_mcunetv2,
+    run_rnnpool,
+)
+from ..core.quantmcu import QuantMCUPipeline
+from ..hardware.device import ARDUINO_NANO_33_BLE, STM32H743, MCUDevice
+from ..hardware.latency import estimate_patch_based_latency
+from ..models import build_model
+from ..quant.config import QuantizationConfig
+from ..quant.points import FeatureMapIndex
+from .common import calibration_images
+from .presets import ExperimentScale, get_scale
+from .reporting import ExperimentReport
+
+__all__ = ["run_table1", "TABLE1_DEVICES", "TABLE1_TASKS"]
+
+TABLE1_DEVICES: list[MCUDevice] = [ARDUINO_NANO_33_BLE, STM32H743]
+TABLE1_TASKS = ["imagenet", "pascalvoc"]
+
+
+@dataclass(frozen=True)
+class _TaskSpec:
+    task: str
+    model_name: str
+    dataset_label: str
+
+
+_TASK_SPECS = {
+    "imagenet": _TaskSpec("imagenet", "mobilenetv2", "ImageNet (synthetic)"),
+    "pascalvoc": _TaskSpec("pascalvoc", "ssdlite_mobilenetv2", "Pascal VOC (synthetic)"),
+}
+
+
+def _resolution_for(device: MCUDevice, scale: ExperimentScale) -> int:
+    """Paper practice: the model resolution is fitted to the device memory.
+
+    The largest resolution (multiple of 16) whose layer-based 8-bit peak
+    activation memory still fits the device SRAM is used, so patch-based
+    methods operate in the regime they were designed for.
+    """
+    from ..quant.config import QuantizationConfig
+    from ..quant.memory import peak_activation_bytes
+
+    best = scale.analytic_resolution
+    upper = 256 if not scale.is_quick else 160
+    for resolution in range(64, upper + 1, 16):
+        graph = build_model(
+            "mobilenetv2", resolution=resolution, num_classes=10, width_mult=scale.analytic_width_mult
+        )
+        peak = peak_activation_bytes(FeatureMapIndex(graph), QuantizationConfig.uniform(8))
+        if peak <= device.sram_bytes:
+            best = resolution
+        else:
+            break
+    return best
+
+
+def _quantmcu_row(graph, fm_index, device, scale) -> tuple[float, float, float]:
+    calib = calibration_images(scale, graph.input_shape[1])
+    pipeline = QuantMCUPipeline(
+        graph,
+        sram_limit_bytes=int(device.sram_bytes * 0.75),
+        num_patches=None,
+    )
+    result = pipeline.run(calib)
+    branch_configs = [result.branch_config(b.patch_id) for b in result.branches]
+    suffix_config = QuantizationConfig(
+        activation_bits=dict(result.suffix_bits), default_activation_bits=8
+    )
+    latency = estimate_patch_based_latency(
+        result.plan, device, suffix_config, branch_configs=branch_configs
+    )
+    return result.peak_memory_kb, result.bitops_m, latency.total_ms
+
+
+def run_table1(
+    scale: str | ExperimentScale = "quick",
+    devices: list[MCUDevice] | None = None,
+    tasks: list[str] | None = None,
+) -> ExperimentReport:
+    """Reproduce Table I (peak memory / BitOPs / latency grid)."""
+    scale = get_scale(scale)
+    devices = devices if devices is not None else TABLE1_DEVICES
+    tasks = tasks if tasks is not None else TABLE1_TASKS
+
+    rows = []
+    for device in devices:
+        resolution = _resolution_for(device, scale)
+        for task in tasks:
+            spec = _TASK_SPECS[task]
+            graph = build_model(
+                spec.model_name,
+                resolution=resolution,
+                num_classes=scale.analytic_num_classes if task == "imagenet" else 20,
+                width_mult=scale.analytic_width_mult,
+            )
+            fm_index = FeatureMapIndex(graph)
+            methods = {
+                "Layer-Based": run_layer_based(graph, device, fm_index=fm_index),
+                "MCUNetV2": run_mcunetv2(graph, device, fm_index=fm_index, grids=(3, 4)),
+                "Cipolletta et al.": run_cipolletta(graph, device, fm_index=fm_index),
+                "RNNPool": run_rnnpool(graph, device, fm_index=fm_index),
+            }
+            for name, result in methods.items():
+                rows.append(
+                    [
+                        device.name,
+                        spec.dataset_label,
+                        name,
+                        round(result.peak_memory_kb, 1),
+                        round(result.bitops_m, 1),
+                        round(result.latency_ms, 1),
+                    ]
+                )
+            peak_kb, bitops_m, latency_ms = _quantmcu_row(graph, fm_index, device, scale)
+            rows.append(
+                [
+                    device.name,
+                    spec.dataset_label,
+                    "QuantMCU",
+                    round(peak_kb, 1),
+                    round(bitops_m, 1),
+                    round(latency_ms, 1),
+                ]
+            )
+
+    return ExperimentReport(
+        name="table1",
+        title="Table I - comparison with patch-based and layer-based inference",
+        headers=["Platform", "Dataset", "Method", "Peak Memory (KB)", "BitOPs (M)", "Latency (ms)"],
+        rows=rows,
+        notes=[
+            f"Scale preset '{scale.name}': MobileNetV2 width x{scale.analytic_width_mult}; "
+            "resolution fitted per device as in the paper.",
+            "Detection rows use the SSD-Lite head on the MobileNetV2 backbone.",
+            "Expected shape: patch-based methods cut peak memory but raise BitOPs/latency; "
+            "QuantMCU cuts all three (paper: 2.2x BitOPs, 1.5x latency on average).",
+        ],
+    )

@@ -1,0 +1,101 @@
+"""Table II: comparison of quantization methods on MobileNetV2.
+
+Rows: the uniform 8/8 baseline, PACT (4/4), Rusci et al. (memory-driven MP),
+HAQ (search-based MP), HAWQ-V3 (sensitivity-based MP) and QuantMCU's VDQS
+(8-bit weights, mixed-precision activations).  Columns: W/A bitwidths, Top-1
+accuracy, BitOPs, memory footprint and the wall-clock time of the quantization
+procedure itself.
+"""
+
+from __future__ import annotations
+
+from ..baselines.quant_baselines import (
+    QuantBaselineResult,
+    run_haq,
+    run_hawq_v3,
+    run_pact,
+    run_rusci,
+    run_uniform_baseline,
+)
+from ..core.quantmcu import run_vdqs_whole_model
+from ..hardware.device import ARDUINO_NANO_33_BLE, MCUDevice
+from .common import evaluate_config, get_trained_model
+from .presets import ExperimentScale, get_scale
+from .reporting import ExperimentReport
+
+__all__ = ["run_table2"]
+
+
+def run_table2(
+    scale: str | ExperimentScale = "quick",
+    device: MCUDevice = ARDUINO_NANO_33_BLE,
+    model_name: str = "mobilenetv2",
+) -> ExperimentReport:
+    """Reproduce Table II (quantization methods: accuracy / BitOPs / memory / time)."""
+    scale = get_scale(scale)
+    trained = get_trained_model(model_name, scale, task="classification")
+    calib = trained.dataset.calibration
+    fm_index = trained.fm_index
+    sram = device.sram_bytes
+    flash = device.flash_bytes
+
+    results: list[QuantBaselineResult] = [
+        run_uniform_baseline(trained.graph, calib, fm_index=fm_index, bits=8),
+        run_pact(trained.graph, calib, fm_index=fm_index, bits=4),
+        run_rusci(
+            trained.graph, calib, sram_limit_bytes=sram, flash_limit_bytes=flash, fm_index=fm_index
+        ),
+        run_haq(trained.graph, calib, fm_index=fm_index, iterations=scale.haq_iterations),
+        run_hawq_v3(trained.graph, calib, fm_index=fm_index),
+    ]
+
+    vdqs = run_vdqs_whole_model(trained.graph, calib, sram_limit_bytes=sram, fm_index=fm_index)
+    results.append(
+        QuantBaselineResult(
+            name="QuantMCU",
+            weight_bits_label="8/MP",
+            config=vdqs.config,
+            search_seconds=vdqs.search_seconds,
+            bitops=vdqs.bitops,
+            peak_memory_bytes=vdqs.peak_memory_bytes,
+            storage_bytes=vdqs.storage_bytes,
+        )
+    )
+
+    rows = []
+    for result in results:
+        accuracy = evaluate_config(trained, result.config)
+        rows.append(
+            [
+                result.name,
+                result.weight_bits_label,
+                round(accuracy.top1 * 100.0, 1),
+                round(accuracy.fidelity * 100.0, 1),
+                round(result.bitops / 1e6, 1),
+                round(result.memory_kb, 1),
+                round(result.search_seconds, 2),
+            ]
+        )
+
+    return ExperimentReport(
+        name="table2",
+        title="Table II - comparison of quantization methods (MobileNetV2, synthetic ImageNet)",
+        headers=[
+            "Method",
+            "W/A-Bits",
+            "Top-1 (%)",
+            "Fidelity (%)",
+            "BitOPs (M)",
+            "Memory (KB)",
+            "Time (s)",
+        ],
+        rows=rows,
+        notes=[
+            f"Scale preset '{scale.name}'; device budgets from {device.name}.",
+            "HAQ is reproduced with simulated annealing (evaluation-in-the-loop) instead of the "
+            "original RL agent; HAWQ-V3 uses empirical perturbation sensitivity instead of the "
+            "Hessian trace (see DESIGN.md).",
+            "Expected shape: QuantMCU reaches near-baseline accuracy with the lowest memory and a "
+            "search time orders of magnitude below the evaluation-in-the-loop methods.",
+        ],
+    )

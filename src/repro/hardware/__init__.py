@@ -1,0 +1,26 @@
+"""MCU hardware model: device descriptors, latency model and SRAM allocator."""
+
+from .device import ARDUINO_NANO_33_BLE, DEVICE_REGISTRY, MCUDevice, STM32H743, get_device
+from .latency import (
+    LatencyBreakdown,
+    OpCost,
+    estimate_layer_based_latency,
+    estimate_patch_based_latency,
+)
+from .sram import AllocationError, BufferLifetime, SRAMAllocator, check_schedule_fits
+
+__all__ = [
+    "MCUDevice",
+    "ARDUINO_NANO_33_BLE",
+    "STM32H743",
+    "DEVICE_REGISTRY",
+    "get_device",
+    "OpCost",
+    "LatencyBreakdown",
+    "estimate_layer_based_latency",
+    "estimate_patch_based_latency",
+    "SRAMAllocator",
+    "AllocationError",
+    "BufferLifetime",
+    "check_schedule_fits",
+]

@@ -1,0 +1,115 @@
+"""MCU device descriptors.
+
+The paper evaluates on two boards; their relevant characteristics for the
+performance model are the SRAM/flash budgets, the core clock, and how many
+cycles a multiply-accumulate costs at each operand precision.  The
+cycles-per-MAC figures model the software kernels the paper uses: CMSIS-NN /
+TinyEngine-style SIMD kernels for 8-bit and CMix-NN bit-serial/unpacking
+kernels for 4- and 2-bit operands — sub-byte MACs are cheaper than 8-bit ones
+but not proportionally so, because operand unpacking eats part of the gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MCUDevice", "ARDUINO_NANO_33_BLE", "STM32H743", "DEVICE_REGISTRY", "get_device"]
+
+
+@dataclass(frozen=True)
+class MCUDevice:
+    """A microcontroller target for the performance model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    core:
+        CPU core family (informational).
+    clock_hz:
+        Core clock frequency.
+    sram_bytes, flash_bytes:
+        Memory budgets; ``sram_bytes`` is the ``M`` of Equation 7.
+    cycles_per_mac:
+        Cycles per multiply-accumulate keyed by ``(weight_bits, activation_bits)``
+        products' max operand width: 8-, 4- and 2-bit kernels.
+    sram_bytes_per_cycle:
+        Effective SRAM load/store bandwidth for activation traffic.
+    flash_bytes_per_cycle:
+        Effective flash read bandwidth for streaming weights.
+    layer_overhead_cycles:
+        Fixed per-operator launch overhead (im2col setup, bookkeeping).
+    branch_overhead_cycles:
+        Extra per-dataflow-branch overhead of patch-based execution
+        (re-computation setup, halo gathering).
+    """
+
+    name: str
+    core: str
+    clock_hz: float
+    sram_bytes: int
+    flash_bytes: int
+    cycles_per_mac: dict[int, float] = field(
+        default_factory=lambda: {8: 0.55, 4: 0.38, 2: 0.30}
+    )
+    sram_bytes_per_cycle: float = 4.0
+    flash_bytes_per_cycle: float = 2.0
+    layer_overhead_cycles: float = 20_000.0
+    branch_overhead_cycles: float = 60_000.0
+
+    @property
+    def sram_kb(self) -> float:
+        return self.sram_bytes / 1024.0
+
+    def mac_cycles(self, weight_bits: int, activation_bits: int) -> float:
+        """Cycles for one MAC with the given operand precisions.
+
+        The kernel precision class is set by the wider operand; unsupported
+        widths fall back to the nearest wider class.
+        """
+        width = max(weight_bits, activation_bits)
+        for candidate in sorted(self.cycles_per_mac):
+            if width <= candidate:
+                return self.cycles_per_mac[candidate]
+        return self.cycles_per_mac[max(self.cycles_per_mac)]
+
+
+#: Arduino Nano 33 BLE Sense: Cortex-M4F @ 64 MHz, 256 KB SRAM, 1 MB flash.
+ARDUINO_NANO_33_BLE = MCUDevice(
+    name="Arduino Nano 33 BLE Sense",
+    core="cortex-m4",
+    clock_hz=64e6,
+    sram_bytes=256 * 1024,
+    flash_bytes=1024 * 1024,
+    cycles_per_mac={8: 0.60, 4: 0.42, 2: 0.33},
+    sram_bytes_per_cycle=4.0,
+    flash_bytes_per_cycle=2.0,
+    layer_overhead_cycles=15_000.0,
+    branch_overhead_cycles=45_000.0,
+)
+
+#: STM32H743: Cortex-M7 @ 480 MHz, 512 KB contiguous SRAM, 2 MB flash.
+STM32H743 = MCUDevice(
+    name="STM32H743",
+    core="cortex-m7",
+    clock_hz=480e6,
+    sram_bytes=512 * 1024,
+    flash_bytes=2 * 1024 * 1024,
+    cycles_per_mac={8: 0.50, 4: 0.36, 2: 0.28},
+    sram_bytes_per_cycle=8.0,
+    flash_bytes_per_cycle=4.0,
+    layer_overhead_cycles=25_000.0,
+    branch_overhead_cycles=80_000.0,
+)
+
+DEVICE_REGISTRY: dict[str, MCUDevice] = {
+    "arduino_nano_33_ble": ARDUINO_NANO_33_BLE,
+    "stm32h743": STM32H743,
+}
+
+
+def get_device(name: str) -> MCUDevice:
+    """Look up a device by registry name."""
+    if name not in DEVICE_REGISTRY:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICE_REGISTRY)}")
+    return DEVICE_REGISTRY[name]

@@ -1,0 +1,198 @@
+"""MCU latency model.
+
+The paper reports wall-clock latency measured on two boards (Figure 1b,
+Table I).  Without the boards, this module provides an analytic performance
+model in the style used by TinyEngine / CMix-NN when they report expected
+speed-ups:
+
+``latency = compute + data movement + per-operator overhead``
+
+* **compute** — MACs x cycles/MAC, where cycles/MAC depends on the operand
+  precision class (8/4/2-bit kernels) of the target device;
+* **data movement** — activation bytes through SRAM and weight bytes streamed
+  from flash, divided by the respective bandwidths;
+* **overhead** — a fixed per-operator cost, plus a per-branch cost for
+  patch-based execution (halo gathering, duplicated operator launches).
+
+The absolute milliseconds are only as good as the calibration constants in
+:mod:`repro.hardware.device`, but the *relative* behaviour the paper's tables
+rely on is structural: patch-based inference is slower than layer-based by its
+redundant MACs and branch overheads, and QuantMCU is faster because sub-byte
+kernels cut the compute term and smaller feature maps cut the SRAM traffic
+term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..patch.analysis import macs_for_region
+from ..patch.plan import PatchPlan
+from ..quant.config import QuantizationConfig
+from ..quant.memory import feature_map_bytes, input_bytes, tensor_bytes
+from ..quant.points import FeatureMapIndex
+from .device import MCUDevice
+
+__all__ = ["OpCost", "LatencyBreakdown", "estimate_layer_based_latency", "estimate_patch_based_latency"]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost description of one executed operator instance."""
+
+    macs: int
+    weight_bits: int
+    activation_bits: int
+    activation_bytes: int
+    weight_bytes: int
+
+
+@dataclass
+class LatencyBreakdown:
+    """Latency estimate split into its components (all in seconds)."""
+
+    compute_seconds: float
+    sram_seconds: float
+    flash_seconds: float
+    overhead_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.sram_seconds + self.flash_seconds + self.overhead_seconds
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_seconds * 1e3
+
+
+def _accumulate(ops: list[OpCost], device: MCUDevice, num_ops_overhead: int, num_branches: int) -> LatencyBreakdown:
+    compute_cycles = 0.0
+    sram_bytes = 0.0
+    flash_bytes = 0.0
+    for op in ops:
+        compute_cycles += op.macs * device.mac_cycles(op.weight_bits, op.activation_bits)
+        sram_bytes += op.activation_bytes
+        flash_bytes += op.weight_bytes
+    overhead_cycles = num_ops_overhead * device.layer_overhead_cycles
+    overhead_cycles += num_branches * device.branch_overhead_cycles
+    return LatencyBreakdown(
+        compute_seconds=compute_cycles / device.clock_hz,
+        sram_seconds=sram_bytes / device.sram_bytes_per_cycle / device.clock_hz,
+        flash_seconds=flash_bytes / device.flash_bytes_per_cycle / device.clock_hz,
+        overhead_seconds=overhead_cycles / device.clock_hz,
+    )
+
+
+def _source_bits(fm_index: FeatureMapIndex, index: int, config: QuantizationConfig) -> int:
+    sources = fm_index.sources[index]
+    bits = [config.input_bits if s is None else config.act_bits(s) for s in sources]
+    return max(bits) if bits else config.input_bits
+
+
+def _source_bytes(fm_index: FeatureMapIndex, index: int, config: QuantizationConfig) -> int:
+    total = 0
+    for src in fm_index.sources[index]:
+        if src is None:
+            total += input_bytes(fm_index, config)
+        else:
+            total += feature_map_bytes(fm_index, src, config)
+    return total
+
+
+def estimate_layer_based_latency(
+    fm_index: FeatureMapIndex, config: QuantizationConfig, device: MCUDevice
+) -> LatencyBreakdown:
+    """Latency of ordinary layer-by-layer execution under ``config``."""
+    ops = []
+    for fm in fm_index:
+        w_bits = config.w_bits(fm.compute_node)
+        a_bits = _source_bits(fm_index, fm.index, config)
+        act_bytes = _source_bytes(fm_index, fm.index, config) + feature_map_bytes(
+            fm_index, fm.index, config
+        )
+        ops.append(
+            OpCost(
+                macs=fm.macs,
+                weight_bits=w_bits,
+                activation_bits=a_bits,
+                activation_bytes=act_bytes,
+                weight_bytes=tensor_bytes(fm.weight_params, w_bits),
+            )
+        )
+    return _accumulate(ops, device, num_ops_overhead=len(ops), num_branches=0)
+
+
+def estimate_patch_based_latency(
+    plan: PatchPlan,
+    device: MCUDevice,
+    config: QuantizationConfig | None = None,
+    branch_configs: list[QuantizationConfig] | None = None,
+) -> LatencyBreakdown:
+    """Latency of patch-based execution of ``plan``.
+
+    ``branch_configs`` optionally supplies a per-branch quantization config
+    (QuantMCU assigns different bitwidths per branch); ``config`` is used for
+    any branch without an entry and for the suffix.
+    """
+    config = config if config is not None else QuantizationConfig.uniform(8)
+    fm_index = plan.fm_index
+    prefix = set(plan.prefix_nodes)
+    ops: list[OpCost] = []
+    num_ops = 0
+
+    for branch_idx, branch in enumerate(plan.branches):
+        branch_config = config
+        if branch_configs is not None and branch_idx < len(branch_configs):
+            branch_config = branch_configs[branch_idx]
+        for fm in fm_index:
+            if fm.compute_node not in prefix:
+                continue
+            region = branch.clamped_regions.get(fm.output_node)
+            if region is None:
+                continue
+            layer = plan.graph.nodes[fm.compute_node].layer
+            macs = macs_for_region(layer, region)
+            w_bits = branch_config.w_bits(fm.compute_node)
+            a_bits = _source_bits(fm_index, fm.index, branch_config)
+            out_bytes = tensor_bytes(fm.shape[0] * region.area, branch_config.act_bits(fm.index))
+            in_bytes = 0
+            for src in fm_index.sources[fm.index]:
+                if src is None:
+                    in_region = branch.clamped_regions.get("input")
+                    channels = plan.graph.input_shape[0]
+                    bits = branch_config.input_bits
+                else:
+                    src_fm = fm_index[src]
+                    in_region = branch.clamped_regions.get(src_fm.output_node)
+                    channels = src_fm.shape[0]
+                    bits = branch_config.act_bits(src)
+                if in_region is not None:
+                    in_bytes += tensor_bytes(channels * in_region.area, bits)
+            ops.append(
+                OpCost(
+                    macs=macs,
+                    weight_bits=w_bits,
+                    activation_bits=a_bits,
+                    activation_bytes=in_bytes + out_bytes,
+                    weight_bytes=tensor_bytes(fm.weight_params, w_bits),
+                )
+            )
+            num_ops += 1
+
+    for idx in plan.suffix_feature_maps():
+        fm = fm_index[idx]
+        w_bits = config.w_bits(fm.compute_node)
+        a_bits = _source_bits(fm_index, idx, config)
+        act_bytes = _source_bytes(fm_index, idx, config) + feature_map_bytes(fm_index, idx, config)
+        ops.append(
+            OpCost(
+                macs=fm.macs,
+                weight_bits=w_bits,
+                activation_bits=a_bits,
+                activation_bytes=act_bytes,
+                weight_bytes=tensor_bytes(fm.weight_params, w_bits),
+            )
+        )
+        num_ops += 1
+
+    return _accumulate(ops, device, num_ops_overhead=num_ops, num_branches=plan.num_branches)

@@ -1,0 +1,95 @@
+"""SRAM allocation checking.
+
+A simple first-fit allocator over the device SRAM that validates whether an
+execution schedule's activation buffers actually fit — a sanity layer on top
+of the analytic peak-memory numbers, and the closest stand-in for TinyEngine's
+memory planner that the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AllocationError", "SRAMAllocator", "BufferLifetime", "check_schedule_fits"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when a buffer cannot be placed in SRAM."""
+
+
+@dataclass
+class BufferLifetime:
+    """A buffer with a live interval expressed in schedule step indices."""
+
+    name: str
+    size_bytes: int
+    first_step: int
+    last_step: int
+
+
+@dataclass
+class _Block:
+    offset: int
+    size: int
+    name: str
+
+
+class SRAMAllocator:
+    """First-fit offset allocator with explicit free."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity_bytes)
+        self._blocks: list[_Block] = []
+
+    def allocate(self, name: str, size_bytes: int) -> int:
+        """Place a buffer; returns its byte offset or raises AllocationError."""
+        if size_bytes <= 0:
+            raise ValueError("buffer size must be positive")
+        self._blocks.sort(key=lambda b: b.offset)
+        cursor = 0
+        for block in self._blocks:
+            if block.offset - cursor >= size_bytes:
+                break
+            cursor = max(cursor, block.offset + block.size)
+        if cursor + size_bytes > self.capacity:
+            raise AllocationError(
+                f"cannot place {name!r} ({size_bytes} B): {self.used_bytes()} B used of {self.capacity} B"
+            )
+        self._blocks.append(_Block(offset=cursor, size=size_bytes, name=name))
+        return cursor
+
+    def free(self, name: str) -> None:
+        """Release a previously allocated buffer."""
+        for i, block in enumerate(self._blocks):
+            if block.name == name:
+                del self._blocks[i]
+                return
+        raise KeyError(f"no allocated buffer named {name!r}")
+
+    def used_bytes(self) -> int:
+        """Currently allocated bytes."""
+        return sum(b.size for b in self._blocks)
+
+    def high_water_mark(self) -> int:
+        """Highest occupied offset (fragmentation-aware footprint)."""
+        if not self._blocks:
+            return 0
+        return max(b.offset + b.size for b in self._blocks)
+
+
+def check_schedule_fits(buffers: list[BufferLifetime], capacity_bytes: int) -> tuple[bool, int]:
+    """Simulate a schedule's buffer lifetimes against an SRAM capacity.
+
+    Returns ``(fits, peak_bytes)`` where ``peak_bytes`` is the maximum sum of
+    simultaneously live buffers (the lower bound any allocator must respect).
+    """
+    if not buffers:
+        return True, 0
+    last_step = max(b.last_step for b in buffers)
+    peak = 0
+    for step in range(last_step + 1):
+        live = sum(b.size_bytes for b in buffers if b.first_step <= step <= b.last_step)
+        peak = max(peak, live)
+    return peak <= capacity_bytes, peak

@@ -1,0 +1,39 @@
+"""Model zoo: the network architectures used throughout the paper's evaluation."""
+
+from .classic_nets import build_inception_lite, build_resnet18, build_squeezenet, build_vgg16
+from .common import MBConvConfig, add_conv_bn_act, add_depthwise_bn_act, add_inverted_residual, make_divisible, scale_channels
+from .detection import build_ssdlite_mobilenet_v2, decode_predictions
+from .mbconv_nets import (
+    build_fbnet_a,
+    build_mbconv_backbone,
+    build_mcunet,
+    build_mnasnet,
+    build_mobilenet_v2,
+    build_ofa_cpu,
+)
+from .registry import MODEL_REGISTRY, ModelEntry, available_models, build_model
+
+__all__ = [
+    "build_mobilenet_v2",
+    "build_mnasnet",
+    "build_fbnet_a",
+    "build_ofa_cpu",
+    "build_mcunet",
+    "build_mbconv_backbone",
+    "build_resnet18",
+    "build_squeezenet",
+    "build_inception_lite",
+    "build_vgg16",
+    "build_ssdlite_mobilenet_v2",
+    "decode_predictions",
+    "build_model",
+    "available_models",
+    "MODEL_REGISTRY",
+    "ModelEntry",
+    "make_divisible",
+    "scale_channels",
+    "add_conv_bn_act",
+    "add_depthwise_bn_act",
+    "add_inverted_residual",
+    "MBConvConfig",
+]

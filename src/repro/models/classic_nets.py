@@ -1,0 +1,244 @@
+"""Classic CNN architectures used in the paper's accuracy ablation (Figure 4).
+
+ResNet-18, SqueezeNet, an Inception-style network and VGG-16 are provided in
+MCU-friendly form: the enormous fully connected classifiers of the original
+ImageNet models are replaced with global average pooling + a single linear
+layer, which is how these architectures are actually deployed on
+memory-constrained devices.  Width multipliers allow the reduced-scale
+variants used by the executed (accuracy) experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    Add,
+    AvgPool2d,
+    Concat,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Graph,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .common import add_conv_bn_act, scale_channels
+
+__all__ = [
+    "build_resnet18",
+    "build_squeezenet",
+    "build_inception_lite",
+    "build_vgg16",
+]
+
+
+def _add_basic_block(
+    graph: Graph,
+    inp: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    prefix: str,
+    rng: np.random.Generator,
+) -> str:
+    """ResNet basic block: two 3x3 convs with an (optionally projected) shortcut."""
+    node = add_conv_bn_act(graph, inp, in_channels, out_channels, 3, stride, "relu", prefix=f"{prefix}_1", rng=rng)
+    node = add_conv_bn_act(graph, node, out_channels, out_channels, 3, 1, None, prefix=f"{prefix}_2", rng=rng)
+    if stride != 1 or in_channels != out_channels:
+        shortcut = add_conv_bn_act(
+            graph, inp, in_channels, out_channels, 1, stride, None, prefix=f"{prefix}_down", rng=rng
+        )
+    else:
+        shortcut = inp
+    node = graph.add(Add(), inputs=[shortcut, node], name=f"{prefix}_add")
+    return graph.add(ReLU(), inputs=node, name=f"{prefix}_out")
+
+
+def build_resnet18(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """ResNet-18 (He et al., 2016).  Figure 2a analyses its first-layer activations."""
+    rng = np.random.default_rng(seed)
+    graph = Graph(input_shape, name="resnet18")
+    widths = [scale_channels(c, width_mult) for c in (64, 64, 128, 256, 512)]
+
+    node = add_conv_bn_act(graph, "input", input_shape[0], widths[0], 7, 2, "relu", prefix="stem", rng=rng)
+    node = graph.add(MaxPool2d(3, stride=2, padding=1), inputs=node, name="stem_pool")
+
+    in_channels = widths[0]
+    for stage_idx, out_channels in enumerate(widths[1:]):
+        for block_idx in range(2):
+            stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+            node = _add_basic_block(
+                graph, node, in_channels, out_channels, stride, f"layer{stage_idx + 1}_{block_idx}", rng
+            )
+            in_channels = out_channels
+
+    node = graph.add(GlobalAvgPool(), inputs=node, name="gap")
+    graph.add(Linear(in_channels, num_classes, rng=rng), inputs=node, name="classifier")
+    return graph
+
+
+def _add_fire_module(
+    graph: Graph,
+    inp: str,
+    in_channels: int,
+    squeeze: int,
+    expand: int,
+    prefix: str,
+    rng: np.random.Generator,
+) -> tuple[str, int]:
+    """SqueezeNet fire module: 1x1 squeeze then parallel 1x1/3x3 expands."""
+    sq = graph.add(
+        Conv2d(in_channels, squeeze, 1, rng=rng), inputs=inp, name=f"{prefix}_squeeze"
+    )
+    sq = graph.add(ReLU(), inputs=sq, name=f"{prefix}_squeeze_act")
+    e1 = graph.add(Conv2d(squeeze, expand, 1, rng=rng), inputs=sq, name=f"{prefix}_e1")
+    e1 = graph.add(ReLU(), inputs=e1, name=f"{prefix}_e1_act")
+    e3 = graph.add(Conv2d(squeeze, expand, 3, padding=1, rng=rng), inputs=sq, name=f"{prefix}_e3")
+    e3 = graph.add(ReLU(), inputs=e3, name=f"{prefix}_e3_act")
+    out = graph.add(Concat(), inputs=[e1, e3], name=f"{prefix}_concat")
+    return out, expand * 2
+
+
+def build_squeezenet(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """SqueezeNet v1.1 (Iandola et al., 2016)."""
+    rng = np.random.default_rng(seed)
+    graph = Graph(input_shape, name="squeezenet")
+
+    def w(c: int) -> int:
+        return max(8, scale_channels(c, width_mult))
+
+    node = graph.add(Conv2d(input_shape[0], w(64), 3, stride=2, padding=1, rng=rng), inputs="input", name="stem")
+    node = graph.add(ReLU(), inputs=node, name="stem_act")
+    node = graph.add(MaxPool2d(3, stride=2, padding=1), inputs=node, name="pool1")
+    in_channels = w(64)
+
+    fire_cfg = [
+        ("fire2", w(16), w(64)),
+        ("fire3", w(16), w(64)),
+        ("pool", 0, 0),
+        ("fire4", w(32), w(128)),
+        ("fire5", w(32), w(128)),
+        ("pool", 0, 0),
+        ("fire6", w(48), w(192)),
+        ("fire7", w(48), w(192)),
+        ("fire8", w(64), w(256)),
+        ("fire9", w(64), w(256)),
+    ]
+    pool_idx = 2
+    for name, squeeze, expand in fire_cfg:
+        if name == "pool":
+            node = graph.add(MaxPool2d(3, stride=2, padding=1), inputs=node, name=f"pool{pool_idx}")
+            pool_idx += 1
+            continue
+        node, in_channels = _add_fire_module(graph, node, in_channels, squeeze, expand, name, rng)
+
+    node = graph.add(Conv2d(in_channels, num_classes, 1, rng=rng), inputs=node, name="head_conv")
+    node = graph.add(ReLU(), inputs=node, name="head_act")
+    graph.add(GlobalAvgPool(), inputs=node, name="gap")
+    return graph
+
+
+def _add_inception_block(
+    graph: Graph,
+    inp: str,
+    in_channels: int,
+    branch_channels: tuple[int, int, int, int],
+    prefix: str,
+    rng: np.random.Generator,
+) -> tuple[str, int]:
+    """Simplified Inception block with 1x1, 3x3, 5x5 and pooled 1x1 branches."""
+    b1, b3, b5, bp = branch_channels
+    n1 = add_conv_bn_act(graph, inp, in_channels, b1, 1, 1, "relu", prefix=f"{prefix}_b1", rng=rng)
+    n3 = add_conv_bn_act(graph, inp, in_channels, b3, 3, 1, "relu", prefix=f"{prefix}_b3", rng=rng)
+    n5 = add_conv_bn_act(graph, inp, in_channels, b5, 5, 1, "relu", prefix=f"{prefix}_b5", rng=rng)
+    np_ = graph.add(AvgPool2d(3, stride=1, padding=1), inputs=inp, name=f"{prefix}_bp_pool")
+    np_ = add_conv_bn_act(graph, np_, in_channels, bp, 1, 1, "relu", prefix=f"{prefix}_bp", rng=rng)
+    out = graph.add(Concat(), inputs=[n1, n3, n5, np_], name=f"{prefix}_concat")
+    return out, b1 + b3 + b5 + bp
+
+
+def build_inception_lite(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """A compact InceptionV3-style network (stem + three inception stages)."""
+    rng = np.random.default_rng(seed)
+    graph = Graph(input_shape, name="inception_lite")
+
+    def w(c: int) -> int:
+        return max(8, scale_channels(c, width_mult))
+
+    node = add_conv_bn_act(graph, "input", input_shape[0], w(32), 3, 2, "relu", prefix="stem1", rng=rng)
+    node = add_conv_bn_act(graph, node, w(32), w(64), 3, 1, "relu", prefix="stem2", rng=rng)
+    node = graph.add(MaxPool2d(3, stride=2, padding=1), inputs=node, name="stem_pool")
+    in_channels = w(64)
+
+    node, in_channels = _add_inception_block(
+        graph, node, in_channels, (w(64), w(96), w(32), w(32)), "inc1", rng
+    )
+    node = graph.add(MaxPool2d(3, stride=2, padding=1), inputs=node, name="pool1")
+    node, in_channels = _add_inception_block(
+        graph, node, in_channels, (w(96), w(128), w(48), w(48)), "inc2", rng
+    )
+    node = graph.add(MaxPool2d(3, stride=2, padding=1), inputs=node, name="pool2")
+    node, in_channels = _add_inception_block(
+        graph, node, in_channels, (w(128), w(160), w(64), w(64)), "inc3", rng
+    )
+
+    node = graph.add(GlobalAvgPool(), inputs=node, name="gap")
+    graph.add(Linear(in_channels, num_classes, rng=rng), inputs=node, name="classifier")
+    return graph
+
+
+def build_vgg16(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """VGG-16 convolutional trunk with an MCU-style GAP classifier.
+
+    The original 4096-wide fully connected head (~120 M parameters) is replaced
+    by global average pooling + one linear layer, the standard adaptation for
+    memory-constrained deployment; the convolutional trunk is unchanged.
+    """
+    rng = np.random.default_rng(seed)
+    graph = Graph(input_shape, name="vgg16")
+
+    def w(c: int) -> int:
+        return max(8, scale_channels(c, width_mult))
+
+    cfg = [
+        (w(64), 2),
+        (w(128), 2),
+        (w(256), 3),
+        (w(512), 3),
+        (w(512), 3),
+    ]
+    node = "input"
+    in_channels = input_shape[0]
+    for stage_idx, (channels, repeats) in enumerate(cfg):
+        for rep in range(repeats):
+            node = add_conv_bn_act(
+                graph, node, in_channels, channels, 3, 1, "relu", prefix=f"conv{stage_idx + 1}_{rep + 1}", rng=rng
+            )
+            in_channels = channels
+        node = graph.add(MaxPool2d(2, stride=2), inputs=node, name=f"pool{stage_idx + 1}")
+
+    node = graph.add(GlobalAvgPool(), inputs=node, name="gap")
+    graph.add(Linear(in_channels, num_classes, rng=rng), inputs=node, name="classifier")
+    return graph

@@ -1,0 +1,166 @@
+"""Shared building blocks for the model zoo.
+
+All builders operate on a :class:`repro.nn.Graph` instance and return the name
+of the node holding the block output, so model definitions read as a linear
+sequence of ``node = add_xxx(graph, node, ...)`` statements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Graph,
+    ReLU,
+    ReLU6,
+)
+
+__all__ = [
+    "make_divisible",
+    "scale_channels",
+    "add_conv_bn_act",
+    "add_depthwise_bn_act",
+    "add_inverted_residual",
+    "MBConvConfig",
+]
+
+
+def make_divisible(value: float, divisor: int = 8, min_value: int | None = None) -> int:
+    """Round ``value`` to the nearest multiple of ``divisor`` (MobileNet rule).
+
+    Guarantees the result does not drop below 90 % of ``value``, matching the
+    original TensorFlow implementation used by MobileNetV2/MnasNet/MCUNet.
+    """
+    if min_value is None:
+        min_value = divisor
+    new_value = max(min_value, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+def scale_channels(channels: int, width_mult: float, divisor: int = 8) -> int:
+    """Apply a width multiplier to a channel count."""
+    return make_divisible(channels * width_mult, divisor)
+
+
+def add_conv_bn_act(
+    graph: Graph,
+    inp: str,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int = 3,
+    stride: int = 1,
+    activation: str | None = "relu6",
+    prefix: str = "conv",
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Append a Conv → BatchNorm → activation block; return the output node."""
+    node = graph.add(
+        Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=kernel_size // 2,
+            bias=False,
+            rng=rng,
+        ),
+        inputs=inp,
+        name=f"{prefix}_conv",
+    )
+    node = graph.add(BatchNorm2d(out_channels), inputs=node, name=f"{prefix}_bn")
+    if activation == "relu6":
+        node = graph.add(ReLU6(), inputs=node, name=f"{prefix}_act")
+    elif activation == "relu":
+        node = graph.add(ReLU(), inputs=node, name=f"{prefix}_act")
+    elif activation is not None:
+        raise ValueError(f"unknown activation {activation!r}")
+    return node
+
+
+def add_depthwise_bn_act(
+    graph: Graph,
+    inp: str,
+    channels: int,
+    kernel_size: int = 3,
+    stride: int = 1,
+    activation: str | None = "relu6",
+    prefix: str = "dw",
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Append a DepthwiseConv → BatchNorm → activation block."""
+    node = graph.add(
+        DepthwiseConv2d(
+            channels,
+            kernel_size,
+            stride=stride,
+            padding=kernel_size // 2,
+            bias=False,
+            rng=rng,
+        ),
+        inputs=inp,
+        name=f"{prefix}_conv",
+    )
+    node = graph.add(BatchNorm2d(channels), inputs=node, name=f"{prefix}_bn")
+    if activation == "relu6":
+        node = graph.add(ReLU6(), inputs=node, name=f"{prefix}_act")
+    elif activation == "relu":
+        node = graph.add(ReLU(), inputs=node, name=f"{prefix}_act")
+    elif activation is not None:
+        raise ValueError(f"unknown activation {activation!r}")
+    return node
+
+
+def add_inverted_residual(
+    graph: Graph,
+    inp: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int = 1,
+    expand_ratio: int = 6,
+    kernel_size: int = 3,
+    prefix: str = "block",
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Append an MBConv / inverted-residual block (MobileNetV2-style).
+
+    Expansion 1x1 conv (skipped when ``expand_ratio == 1``), depthwise conv,
+    linear 1x1 projection, plus a residual shortcut when the shapes allow it.
+    """
+    hidden = make_divisible(in_channels * expand_ratio) if expand_ratio != 1 else in_channels
+    node = inp
+    if expand_ratio != 1:
+        node = add_conv_bn_act(
+            graph, node, in_channels, hidden, 1, 1, "relu6", prefix=f"{prefix}_expand", rng=rng
+        )
+    node = add_depthwise_bn_act(
+        graph, node, hidden, kernel_size, stride, "relu6", prefix=f"{prefix}_dw", rng=rng
+    )
+    node = add_conv_bn_act(
+        graph, node, hidden, out_channels, 1, 1, None, prefix=f"{prefix}_project", rng=rng
+    )
+    if stride == 1 and in_channels == out_channels:
+        node = graph.add(Add(), inputs=[inp, node], name=f"{prefix}_add")
+    return node
+
+
+class MBConvConfig:
+    """One stage of an MBConv backbone: ``(expand, channels, repeats, stride, kernel)``."""
+
+    def __init__(self, expand_ratio: int, channels: int, repeats: int, stride: int, kernel_size: int = 3) -> None:
+        self.expand_ratio = expand_ratio
+        self.channels = channels
+        self.repeats = repeats
+        self.stride = stride
+        self.kernel_size = kernel_size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MBConvConfig(t={self.expand_ratio}, c={self.channels}, n={self.repeats}, "
+            f"s={self.stride}, k={self.kernel_size})"
+        )

@@ -1,0 +1,97 @@
+"""Object-detection model for the Pascal-VOC-style experiments.
+
+The paper evaluates QuantMCU on object detection with MobileNetV2 as the
+backbone (Table I, Figure 4b).  On MCUs the standard choice is an SSD-Lite
+head: a depthwise-separable convolution predicting, for every spatial cell and
+anchor, the class scores and the four box-regression offsets.  This module
+builds exactly that on top of any MBConv backbone from the zoo.
+
+The head emits a single fused prediction tensor of shape
+``(N, anchors * (num_classes + 4), H, W)``; :func:`decode_predictions` splits
+it back into per-anchor class scores and boxes, which is what the synthetic
+mAP metric in :mod:`repro.data.metrics` consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv2d, DepthwiseConv2d, Graph
+from .common import add_conv_bn_act, add_depthwise_bn_act
+from .mbconv_nets import build_mobilenet_v2
+
+__all__ = ["build_ssdlite_mobilenet_v2", "decode_predictions", "DEFAULT_ANCHORS_PER_CELL"]
+
+DEFAULT_ANCHORS_PER_CELL = 3
+
+
+def build_ssdlite_mobilenet_v2(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 20,
+    width_mult: float = 1.0,
+    anchors_per_cell: int = DEFAULT_ANCHORS_PER_CELL,
+    seed: int = 0,
+) -> Graph:
+    """MobileNetV2 backbone + single-scale SSD-Lite detection head.
+
+    The classifier tail of the backbone (global pooling + linear) is dropped
+    and replaced by the detection head operating on the last spatial feature
+    map.
+    """
+    rng = np.random.default_rng(seed)
+    backbone = build_mobilenet_v2(
+        input_shape=input_shape, num_classes=num_classes, width_mult=width_mult, seed=seed
+    )
+
+    # Rebuild the backbone graph without the pooling/classifier tail.
+    graph = Graph(input_shape, name="ssdlite_mobilenetv2")
+    shapes = backbone.shapes()
+    last_spatial = None
+    for name in backbone.topological_order():
+        if name in ("gap", "classifier"):
+            continue
+        node = backbone.nodes[name]
+        graph.add(node.layer, inputs=list(node.inputs), name=name)
+        if len(shapes[name]) == 3:
+            last_spatial = name
+    if last_spatial is None:  # pragma: no cover - defensive
+        raise RuntimeError("backbone has no spatial feature maps")
+
+    feat_channels = shapes[last_spatial][0]
+    out_channels = anchors_per_cell * (num_classes + 4)
+
+    node = add_depthwise_bn_act(
+        graph, last_spatial, feat_channels, 3, 1, "relu6", prefix="head_dw", rng=rng
+    )
+    graph.add(
+        Conv2d(feat_channels, out_channels, 1, rng=rng), inputs=node, name="head_pred"
+    )
+    return graph
+
+
+def decode_predictions(
+    raw: np.ndarray, num_classes: int, anchors_per_cell: int = DEFAULT_ANCHORS_PER_CELL
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split the fused SSD-Lite output tensor into class scores and boxes.
+
+    Parameters
+    ----------
+    raw:
+        ``(N, anchors*(num_classes+4), H, W)`` head output.
+
+    Returns
+    -------
+    (class_scores, boxes)
+        ``class_scores`` has shape ``(N, H*W*anchors, num_classes)``;
+        ``boxes`` has shape ``(N, H*W*anchors, 4)``.
+    """
+    n, c, h, w = raw.shape
+    per_anchor = num_classes + 4
+    if c != anchors_per_cell * per_anchor:
+        raise ValueError(
+            f"channel count {c} inconsistent with {anchors_per_cell} anchors x "
+            f"({num_classes} classes + 4)"
+        )
+    grid = raw.reshape(n, anchors_per_cell, per_anchor, h, w)
+    grid = grid.transpose(0, 3, 4, 1, 2).reshape(n, h * w * anchors_per_cell, per_anchor)
+    return grid[:, :, :num_classes], grid[:, :, num_classes:]

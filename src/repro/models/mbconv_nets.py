@@ -1,0 +1,235 @@
+"""MBConv-family backbones: MobileNetV2, MnasNet, FBNet-A, OFA-CPU, MCUNet.
+
+All five networks used by the paper's Figure 1b (and MobileNetV2 / MCUNet used
+throughout the evaluation) share the inverted-residual structure, so they are
+expressed here as stage configurations fed to a single generic builder.  The
+configurations follow the published architectures; MnasNet/FBNet/OFA variants
+are approximations at the stage level (expansion ratio, channel width, kernel
+size, stride) which is the granularity that determines MACs, feature-map sizes
+and therefore everything the QuantMCU experiments measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Flatten, GlobalAvgPool, Graph, Linear
+from .common import MBConvConfig, add_conv_bn_act, add_inverted_residual, scale_channels
+
+__all__ = [
+    "build_mbconv_backbone",
+    "build_mobilenet_v2",
+    "build_mnasnet",
+    "build_fbnet_a",
+    "build_ofa_cpu",
+    "build_mcunet",
+]
+
+# Stage tables: (expand_ratio, base_channels, repeats, first_stride, kernel).
+_MOBILENET_V2_STAGES = [
+    MBConvConfig(1, 16, 1, 1, 3),
+    MBConvConfig(6, 24, 2, 2, 3),
+    MBConvConfig(6, 32, 3, 2, 3),
+    MBConvConfig(6, 64, 4, 2, 3),
+    MBConvConfig(6, 96, 3, 1, 3),
+    MBConvConfig(6, 160, 3, 2, 3),
+    MBConvConfig(6, 320, 1, 1, 3),
+]
+
+_MNASNET_STAGES = [
+    MBConvConfig(1, 16, 1, 1, 3),
+    MBConvConfig(6, 24, 2, 2, 3),
+    MBConvConfig(3, 40, 3, 2, 5),
+    MBConvConfig(6, 80, 3, 2, 5),
+    MBConvConfig(6, 96, 2, 1, 3),
+    MBConvConfig(6, 192, 4, 2, 5),
+    MBConvConfig(6, 320, 1, 1, 3),
+]
+
+_FBNET_A_STAGES = [
+    MBConvConfig(1, 16, 1, 1, 3),
+    MBConvConfig(3, 24, 2, 2, 3),
+    MBConvConfig(6, 32, 3, 2, 5),
+    MBConvConfig(6, 64, 3, 2, 3),
+    MBConvConfig(6, 112, 3, 1, 5),
+    MBConvConfig(6, 184, 3, 2, 5),
+    MBConvConfig(6, 352, 1, 1, 3),
+]
+
+_OFA_CPU_STAGES = [
+    MBConvConfig(1, 16, 1, 1, 3),
+    MBConvConfig(4, 24, 2, 2, 3),
+    MBConvConfig(4, 40, 3, 2, 5),
+    MBConvConfig(4, 80, 3, 2, 3),
+    MBConvConfig(6, 112, 3, 1, 3),
+    MBConvConfig(6, 160, 3, 2, 5),
+    MBConvConfig(6, 320, 1, 1, 3),
+]
+
+# MCUNet-style TinyNAS backbone (narrow channels, shallow tail) for 256 KB-class
+# devices; width already tuned down, so the default width multiplier is 1.0.
+_MCUNET_STAGES = [
+    MBConvConfig(1, 8, 1, 1, 3),
+    MBConvConfig(3, 16, 2, 2, 3),
+    MBConvConfig(4, 24, 2, 2, 5),
+    MBConvConfig(4, 40, 3, 2, 5),
+    MBConvConfig(5, 48, 2, 1, 3),
+    MBConvConfig(5, 96, 3, 2, 5),
+    MBConvConfig(6, 160, 1, 1, 3),
+]
+
+
+def build_mbconv_backbone(
+    name: str,
+    stages: list[MBConvConfig],
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    stem_channels: int = 32,
+    head_channels: int = 1280,
+    seed: int = 0,
+) -> Graph:
+    """Build a generic MBConv classification backbone.
+
+    Parameters
+    ----------
+    name:
+        Model name recorded on the graph.
+    stages:
+        Per-stage MBConv configuration list.
+    input_shape:
+        ``(C, H, W)`` of the input image.
+    num_classes:
+        Classifier output width.
+    width_mult:
+        Global channel width multiplier (the paper adjusts this to fit MCU
+        memory, e.g. MobileNetV2-w0.35).
+    stem_channels, head_channels:
+        Channel counts of the stem conv and the final 1x1 conv before pooling.
+    seed:
+        RNG seed for weight initialization (deterministic models by default).
+    """
+    rng = np.random.default_rng(seed)
+    graph = Graph(input_shape, name=name)
+
+    stem = scale_channels(stem_channels, width_mult)
+    node = add_conv_bn_act(graph, "input", input_shape[0], stem, 3, 2, "relu6", prefix="stem", rng=rng)
+    in_channels = stem
+
+    for stage_idx, cfg in enumerate(stages):
+        out_channels = scale_channels(cfg.channels, width_mult)
+        for rep in range(cfg.repeats):
+            stride = cfg.stride if rep == 0 else 1
+            node = add_inverted_residual(
+                graph,
+                node,
+                in_channels,
+                out_channels,
+                stride=stride,
+                expand_ratio=cfg.expand_ratio,
+                kernel_size=cfg.kernel_size,
+                prefix=f"s{stage_idx}_b{rep}",
+                rng=rng,
+            )
+            in_channels = out_channels
+
+    head = scale_channels(head_channels, max(width_mult, 1.0))
+    node = add_conv_bn_act(graph, node, in_channels, head, 1, 1, "relu6", prefix="head", rng=rng)
+    node = graph.add(GlobalAvgPool(), inputs=node, name="gap")
+    graph.add(Linear(head, num_classes, rng=rng), inputs=node, name="classifier")
+    return graph
+
+
+def build_mobilenet_v2(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """MobileNetV2 (Sandler et al., 2018), the paper's primary evaluation model."""
+    return build_mbconv_backbone(
+        "mobilenetv2",
+        _MOBILENET_V2_STAGES,
+        input_shape=input_shape,
+        num_classes=num_classes,
+        width_mult=width_mult,
+        stem_channels=32,
+        head_channels=1280,
+        seed=seed,
+    )
+
+
+def build_mnasnet(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """MnasNet-A1-style backbone (Figure 1b workload)."""
+    return build_mbconv_backbone(
+        "mnasnet",
+        _MNASNET_STAGES,
+        input_shape=input_shape,
+        num_classes=num_classes,
+        width_mult=width_mult,
+        stem_channels=32,
+        head_channels=1280,
+        seed=seed,
+    )
+
+
+def build_fbnet_a(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """FBNet-A-style backbone (Figure 1b workload)."""
+    return build_mbconv_backbone(
+        "fbnet_a",
+        _FBNET_A_STAGES,
+        input_shape=input_shape,
+        num_classes=num_classes,
+        width_mult=width_mult,
+        stem_channels=16,
+        head_channels=1280,
+        seed=seed,
+    )
+
+
+def build_ofa_cpu(
+    input_shape: tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """Once-for-All CPU-specialised subnet approximation (Figure 1b workload)."""
+    return build_mbconv_backbone(
+        "ofa_cpu",
+        _OFA_CPU_STAGES,
+        input_shape=input_shape,
+        num_classes=num_classes,
+        width_mult=width_mult,
+        stem_channels=24,
+        head_channels=1280,
+        seed=seed,
+    )
+
+
+def build_mcunet(
+    input_shape: tuple[int, int, int] = (3, 176, 176),
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """MCUNet/TinyNAS-style backbone used by MCUNetV2 and Figure 6."""
+    return build_mbconv_backbone(
+        "mcunet",
+        _MCUNET_STAGES,
+        input_shape=input_shape,
+        num_classes=num_classes,
+        width_mult=width_mult,
+        stem_channels=16,
+        head_channels=320,
+        seed=seed,
+    )

@@ -1,0 +1,95 @@
+"""Model registry: build any zoo model by name with uniform options.
+
+The experiment runners and benchmarks refer to models by short string names
+("mobilenetv2", "mcunet", ...); this registry resolves those names to builder
+functions and records per-model defaults such as the paper-relevant input
+resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..nn import Graph
+from .classic_nets import build_inception_lite, build_resnet18, build_squeezenet, build_vgg16
+from .detection import build_ssdlite_mobilenet_v2
+from .mbconv_nets import (
+    build_fbnet_a,
+    build_mbconv_backbone,
+    build_mcunet,
+    build_mnasnet,
+    build_mobilenet_v2,
+    build_ofa_cpu,
+)
+
+__all__ = ["ModelEntry", "MODEL_REGISTRY", "build_model", "available_models"]
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """Registry entry: builder plus the defaults the paper uses for it."""
+
+    name: str
+    builder: Callable[..., Graph]
+    default_resolution: int
+    description: str
+    task: str = "classification"
+
+
+MODEL_REGISTRY: dict[str, ModelEntry] = {
+    "mobilenetv2": ModelEntry(
+        "mobilenetv2", build_mobilenet_v2, 224, "MobileNetV2 (primary evaluation model)"
+    ),
+    "mnasnet": ModelEntry("mnasnet", build_mnasnet, 224, "MnasNet-A1 style backbone"),
+    "fbnet_a": ModelEntry("fbnet_a", build_fbnet_a, 224, "FBNet-A style backbone"),
+    "ofa_cpu": ModelEntry("ofa_cpu", build_ofa_cpu, 224, "Once-for-All CPU subnet"),
+    "mcunet": ModelEntry("mcunet", build_mcunet, 176, "MCUNet / TinyNAS backbone"),
+    "resnet18": ModelEntry("resnet18", build_resnet18, 224, "ResNet-18"),
+    "squeezenet": ModelEntry("squeezenet", build_squeezenet, 224, "SqueezeNet v1.1"),
+    "inception": ModelEntry("inception", build_inception_lite, 224, "Inception-lite (InceptionV3 stand-in)"),
+    "vgg16": ModelEntry("vgg16", build_vgg16, 224, "VGG-16 with GAP classifier"),
+    "ssdlite_mobilenetv2": ModelEntry(
+        "ssdlite_mobilenetv2",
+        build_ssdlite_mobilenet_v2,
+        224,
+        "MobileNetV2 + SSD-Lite detection head (Pascal-VOC task)",
+        task="detection",
+    ),
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(
+    name: str,
+    resolution: int | None = None,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """Build a zoo model by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_models`.
+    resolution:
+        Square input resolution; defaults to the model's paper resolution.
+    num_classes:
+        Classifier width (or detection class count).
+    width_mult:
+        Channel width multiplier.
+    seed:
+        Weight-initialization seed.
+    """
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    entry = MODEL_REGISTRY[name]
+    res = resolution if resolution is not None else entry.default_resolution
+    return entry.builder(
+        input_shape=(3, res, res), num_classes=num_classes, width_mult=width_mult, seed=seed
+    )

@@ -1,0 +1,363 @@
+"""Low-level numerical primitives for the NumPy CNN framework.
+
+Everything in this module is a pure function operating on ``numpy.ndarray``
+objects in NCHW layout.  The layer classes in :mod:`repro.nn.layers` are thin
+stateful wrappers around these primitives, which keeps the numerics easy to
+test in isolation (see ``tests/nn/test_functional.py``).
+
+The implementation favours clarity over raw speed: convolutions are expressed
+through explicit ``im2col``/``col2im`` transformations, the textbook approach
+used by most educational frameworks.  For the model scales exercised by the
+QuantMCU reproduction (tens of layers, inputs up to 224x224 for analytic runs
+and 64x96 pixels for executed runs) this is more than fast enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "depthwise_conv2d_forward",
+    "depthwise_conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "avgpool2d_forward",
+    "avgpool2d_backward",
+    "softmax",
+    "log_softmax",
+    "relu",
+    "relu6",
+    "sigmoid",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Return the spatial output size of a convolution/pooling window.
+
+    Parameters
+    ----------
+    size:
+        Input spatial extent (height or width).
+    kernel:
+        Kernel extent along the same axis.
+    stride:
+        Stride along the same axis.
+    padding:
+        Symmetric zero padding added on each side.
+    """
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size {out} for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Unfold sliding windows of ``x`` into a 2-D matrix.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        ``(kh, kw)`` window size.
+    stride:
+        Window stride (same for both axes).
+    padding:
+        Symmetric zero padding (same for both axes).
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(N * out_h * out_w, C * kh * kw)`` whose rows are the
+        flattened receptive fields of each output position.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    if padding > 0:
+        img = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)], mode="constant")
+    else:
+        img = x
+
+    col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            col[:, :, i, j, :, :] = img[:, :, i:i_max:stride, j:j_max:stride]
+    return col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, c * kh * kw)
+
+
+def col2im(
+    col: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold a column matrix produced by :func:`im2col` back into an image.
+
+    Overlapping positions are accumulated, which makes this the adjoint of
+    :func:`im2col` and therefore the correct operation for convolution
+    backpropagation.
+    """
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    col6 = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    img = np.zeros((n, c, h + 2 * padding + stride - 1, w + 2 * padding + stride - 1), dtype=col.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            img[:, :, i:i_max:stride, j:j_max:stride] += col6[:, :, i, j, :, :]
+    return img[:, :, padding : padding + h, padding : padding + w]
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Standard 2-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+
+    Returns
+    -------
+    (output, col)
+        ``output`` has shape ``(N, C_out, out_h, out_w)``.  ``col`` is the
+        im2col matrix, returned so the backward pass can reuse it.
+    """
+    n = x.shape[0]
+    c_out, _, kh, kw = weight.shape
+    out_h = conv_output_size(x.shape[2], kh, stride, padding)
+    out_w = conv_output_size(x.shape[3], kw, stride, padding)
+
+    col = im2col(x, (kh, kw), stride, padding)
+    w_mat = weight.reshape(c_out, -1)
+    out = col @ w_mat.T
+    if bias is not None:
+        out = out + bias
+    out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    return out, col
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    col: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(grad_input, grad_weight, grad_bias)``.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    n, _, out_h, out_w = grad_out.shape
+
+    grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c_out)
+    grad_weight = (grad_mat.T @ col).reshape(c_out, c_in, kh, kw)
+    grad_bias = grad_mat.sum(axis=0)
+    grad_col = grad_mat @ weight.reshape(c_out, -1)
+    grad_input = col2im(grad_col, x_shape, (kh, kw), stride, padding)
+    return grad_input, grad_weight, grad_bias
+
+
+def _depthwise_windows(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Return sliding windows of shape ``(N, C, kh*kw, out_h*out_w)``."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        img = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)], mode="constant")
+    else:
+        img = x
+    windows = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            windows[:, :, i, j, :, :] = img[:, :, i:i_max:stride, j:j_max:stride]
+    return windows.reshape(n, c, kh * kw, out_h * out_w)
+
+
+def depthwise_conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Depthwise (per-channel) 2-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    weight:
+        Per-channel filters of shape ``(C, kh, kw)``.
+    bias:
+        Optional per-channel bias of shape ``(C,)``.
+
+    Returns
+    -------
+    (output, windows)
+        ``output`` has shape ``(N, C, out_h, out_w)``; ``windows`` is kept for
+        the backward pass.
+    """
+    n, c, h, w = x.shape
+    c_w, kh, kw = weight.shape
+    if c_w != c:
+        raise ValueError(f"depthwise weight has {c_w} channels, input has {c}")
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    windows = _depthwise_windows(x, (kh, kw), stride, padding)
+    w_flat = weight.reshape(c, kh * kw, 1)
+    out = (windows * w_flat).sum(axis=2)
+    if bias is not None:
+        out = out + bias[None, :, None]
+    return out.reshape(n, c, out_h, out_w), windows
+
+
+def depthwise_conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    windows: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`depthwise_conv2d_forward`."""
+    n, c, out_h, out_w = grad_out.shape
+    c_w, kh, kw = weight.shape
+    grad_flat = grad_out.reshape(n, c, 1, out_h * out_w)
+
+    grad_weight = (grad_flat * windows).sum(axis=(0, 3)).reshape(c_w, kh, kw)
+    grad_bias = grad_out.sum(axis=(0, 2, 3))
+
+    # Gradient w.r.t. the input: scatter grad * weight back through the windows.
+    grad_windows = grad_flat * weight.reshape(1, c, kh * kw, 1)
+    # Reuse col2im by arranging to (N*oh*ow, C*kh*kw).
+    grad_col = grad_windows.reshape(n, c, kh * kw, out_h, out_w)
+    grad_col = grad_col.transpose(0, 3, 4, 1, 2).reshape(n * out_h * out_w, c * kh * kw)
+    grad_input = col2im(grad_col, x_shape, (kh, kw), stride, padding)
+    return grad_input, grad_weight, grad_bias
+
+
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, padding: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Max pooling.  Returns ``(output, argmax)`` for the backward pass."""
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    windows = _depthwise_windows(x, (kernel, kernel), stride, padding)
+    argmax = windows.argmax(axis=2)
+    out = windows.max(axis=2).reshape(n, c, out_h, out_w)
+    return out, argmax
+
+
+def maxpool2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    argmax: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+) -> np.ndarray:
+    """Backward pass of :func:`maxpool2d_forward`."""
+    n, c, out_h, out_w = grad_out.shape
+    k2 = kernel * kernel
+    grad_windows = np.zeros((n, c, k2, out_h * out_w), dtype=grad_out.dtype)
+    flat = grad_out.reshape(n, c, out_h * out_w)
+    n_idx, c_idx, p_idx = np.meshgrid(
+        np.arange(n), np.arange(c), np.arange(out_h * out_w), indexing="ij"
+    )
+    grad_windows[n_idx, c_idx, argmax, p_idx] = flat
+    grad_col = grad_windows.reshape(n, c, k2, out_h, out_w)
+    grad_col = grad_col.transpose(0, 3, 4, 1, 2).reshape(n * out_h * out_w, c * k2)
+    return col2im(grad_col, x_shape, (kernel, kernel), stride, padding)
+
+
+def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int, padding: int = 0) -> np.ndarray:
+    """Average pooling."""
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    windows = _depthwise_windows(x, (kernel, kernel), stride, padding)
+    return windows.mean(axis=2).reshape(n, c, out_h, out_w)
+
+
+def avgpool2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int = 0,
+) -> np.ndarray:
+    """Backward pass of :func:`avgpool2d_forward`."""
+    n, c, out_h, out_w = grad_out.shape
+    k2 = kernel * kernel
+    grad_windows = np.repeat(grad_out.reshape(n, c, 1, out_h * out_w), k2, axis=2) / k2
+    grad_col = grad_windows.reshape(n, c, k2, out_h, out_w)
+    grad_col = grad_col.transpose(0, 3, 4, 1, 2).reshape(n * out_h * out_w, c * k2)
+    return col2im(grad_col, x_shape, (kernel, kernel), stride, padding)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu6(x: np.ndarray) -> np.ndarray:
+    """ReLU clipped at 6, the activation used by MobileNet-family networks."""
+    return np.clip(x, 0.0, 6.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out.astype(x.dtype, copy=False)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -1,0 +1,35 @@
+"""Weight initializers for the NumPy CNN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "normal_init"]
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Kaiming/He uniform initialization suited to ReLU-family networks."""
+    rng = rng if rng is not None else _DEFAULT_RNG
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Xavier/Glorot uniform initialization."""
+    rng = rng if rng is not None else _DEFAULT_RNG
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal_init(
+    shape: tuple[int, ...], std: float = 0.01, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Zero-mean Gaussian initialization with a configurable std."""
+    rng = rng if rng is not None else _DEFAULT_RNG
+    return (rng.standard_normal(size=shape) * std).astype(np.float32)

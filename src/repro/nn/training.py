@@ -1,0 +1,232 @@
+"""Losses, optimizers and a small training loop.
+
+The QuantMCU paper never trains networks as part of the method (that is the
+point of VDQS: entropy replaces retraining), but the reproduction still needs
+trained models so that "accuracy after quantization" is a meaningful number on
+the synthetic datasets.  This module provides the minimum viable training
+stack: softmax cross-entropy, SGD with momentum, Adam, and a ``fit`` helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import functional as F
+from .graph import Graph
+
+__all__ = [
+    "softmax_cross_entropy",
+    "SGD",
+    "Adam",
+    "TrainingHistory",
+    "fit",
+    "evaluate_top1",
+    "recalibrate_batchnorm",
+]
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, num_classes)`` raw scores.
+    labels:
+        ``(N,)`` integer class labels.
+    """
+    n = logits.shape[0]
+    log_probs = F.log_softmax(logits, axis=-1)
+    loss = -float(log_probs[np.arange(n), labels].mean())
+    grad = F.softmax(logits, axis=-1)
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+class _Optimizer:
+    """Base class holding references to the graph's parameters."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        self.graph.zero_grad()
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with classical momentum and weight decay."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(graph)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[tuple[str, str], np.ndarray] = {}
+
+    def step(self) -> None:
+        for name, layer in self.graph.layers():
+            for pname, param in layer.params.items():
+                grad = layer.grads[pname]
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * param
+                key = (name, pname)
+                vel = self._velocity.get(key)
+                if vel is None:
+                    vel = np.zeros_like(param)
+                vel = self.momentum * vel - self.lr * grad
+                self._velocity[key] = vel
+                layer.params[pname] = param + vel
+
+
+class Adam(_Optimizer):
+    """Adam optimizer."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(graph)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[tuple[str, str], np.ndarray] = {}
+        self._v: dict[tuple[str, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for name, layer in self.graph.layers():
+            for pname, param in layer.params.items():
+                grad = layer.grads[pname]
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * param
+                key = (name, pname)
+                m = self._m.get(key, np.zeros_like(param))
+                v = self._v.get(key, np.zeros_like(param))
+                m = self.beta1 * m + (1 - self.beta1) * grad
+                v = self.beta2 * v + (1 - self.beta2) * grad * grad
+                self._m[key] = m
+                self._v[key] = v
+                m_hat = m / (1 - self.beta1**self._t)
+                v_hat = v / (1 - self.beta2**self._t)
+                layer.params[pname] = param - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss and accuracy recorded by :func:`fit`."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+def recalibrate_batchnorm(
+    graph: Graph, images: np.ndarray, batch_size: int = 64, max_batches: int = 8
+) -> None:
+    """Re-estimate BatchNorm running statistics with cumulative averaging.
+
+    With only a few hundred optimizer steps the exponentially averaged running
+    statistics lag the final weights badly, which tanks inference-mode
+    accuracy.  This pass resets them and replays a few batches in training
+    mode with a cumulative-average momentum, the standard post-training BN
+    recalibration trick.
+    """
+    from .layers import BatchNorm2d
+
+    bn_layers = [layer for _, layer in graph.layers() if isinstance(layer, BatchNorm2d)]
+    if not bn_layers:
+        return
+    for layer in bn_layers:
+        layer.running_mean = np.zeros_like(layer.running_mean)
+        layer.running_var = np.ones_like(layer.running_var)
+    graph.train(True)
+    num_batches = min(max_batches, max(1, len(images) // batch_size))
+    for batch_idx in range(num_batches):
+        momentum = 1.0 / (batch_idx + 1)
+        for layer in bn_layers:
+            layer.momentum = momentum
+        batch = images[batch_idx * batch_size : (batch_idx + 1) * batch_size]
+        graph.forward(batch)
+    for layer in bn_layers:
+        layer.momentum = 0.1
+    graph.train(False)
+
+
+def _iterate_batches(
+    images: np.ndarray, labels: np.ndarray, batch_size: int, rng: np.random.Generator
+):
+    indices = rng.permutation(len(images))
+    for start in range(0, len(images), batch_size):
+        idx = indices[start : start + batch_size]
+        yield images[idx], labels[idx]
+
+
+def fit(
+    graph: Graph,
+    images: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 5,
+    batch_size: int = 32,
+    optimizer: _Optimizer | None = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> TrainingHistory:
+    """Train ``graph`` with softmax cross-entropy on a classification dataset.
+
+    Returns a :class:`TrainingHistory` with the per-epoch mean loss and
+    training accuracy.
+    """
+    rng = np.random.default_rng(seed)
+    opt = optimizer if optimizer is not None else Adam(graph, lr=2e-3)
+    history = TrainingHistory()
+    graph.train(True)
+    for epoch in range(epochs):
+        epoch_losses = []
+        correct = 0
+        for batch_x, batch_y in _iterate_batches(images, labels, batch_size, rng):
+            opt.zero_grad()
+            logits = graph.forward(batch_x)
+            loss, grad = softmax_cross_entropy(logits, batch_y)
+            graph.backward(grad)
+            opt.step()
+            epoch_losses.append(loss)
+            correct += int((logits.argmax(axis=-1) == batch_y).sum())
+        acc = correct / len(images)
+        history.losses.append(float(np.mean(epoch_losses)))
+        history.accuracies.append(acc)
+        if verbose:  # pragma: no cover - console output only
+            print(f"epoch {epoch + 1}/{epochs}: loss={history.losses[-1]:.4f} acc={acc:.3f}")
+    recalibrate_batchnorm(graph, images, batch_size=max(batch_size, 32))
+    graph.train(False)
+    return history
+
+
+def evaluate_top1(graph: Graph, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
+    """Top-1 accuracy of ``graph`` on a labelled dataset."""
+    graph.eval()
+    correct = 0
+    for start in range(0, len(images), batch_size):
+        batch = images[start : start + batch_size]
+        logits = graph.forward(batch)
+        correct += int((logits.argmax(axis=-1) == labels[start : start + batch_size]).sum())
+    return correct / len(images)

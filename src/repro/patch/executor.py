@@ -1,0 +1,212 @@
+"""Exact patch-based execution.
+
+:class:`PatchExecutor` runs a model according to a :class:`~repro.patch.plan.PatchPlan`:
+each dataflow branch computes only the spatial region its patch needs (with
+halo), the split feature map is stitched together from the branch outputs, and
+the remaining layers run layer-by-layer.  The result is numerically identical
+to ordinary layer-based execution — the integration tests assert bit-exact
+stitching — which is the defining property of patch-based inference: it trades
+extra (redundant) computation for a smaller activation working set, never
+accuracy.
+
+Quantization is injected through two optional hooks so that the QuantMCU core
+(and the baselines) can apply per-branch, per-feature-map bitwidths without
+the patch machinery knowing anything about quantization:
+
+``branch_hook(patch_id, fm, array)``
+    Called with every feature-map activation computed inside a branch.
+``suffix_hook(fm, array)``
+    Called with every feature-map activation computed in the suffix.
+
+Both return the (possibly fake-quantized) array to propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nn import AvgPool2d, Conv2d, DepthwiseConv2d, MaxPool2d
+from ..nn import functional as F
+from ..nn.graph import INPUT_NODE
+from ..quant.points import FeatureMap
+from .plan import BranchPlan, PatchPlan
+from .regions import Region, backward_region
+
+__all__ = ["PatchExecutor"]
+
+BranchHook = Callable[[int, FeatureMap, np.ndarray], np.ndarray]
+SuffixHook = Callable[[FeatureMap, np.ndarray], np.ndarray]
+
+
+class PatchExecutor:
+    """Execute a model patch-by-patch according to a plan (see module docstring)."""
+
+    def __init__(
+        self,
+        plan: PatchPlan,
+        branch_hook: BranchHook | None = None,
+        suffix_hook: SuffixHook | None = None,
+    ) -> None:
+        self.plan = plan
+        self.branch_hook = branch_hook
+        self.suffix_hook = suffix_hook
+        self._shapes = plan.graph.shapes()
+        self._fm_by_output = {fm.output_node: fm for fm in plan.fm_index}
+
+    # ----------------------------------------------------------------- public
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run patch-based inference on a batch ``x`` of shape ``(N, C, H, W)``."""
+        stitched = self._run_patch_stage(x)
+        return self._run_suffix(x, stitched)
+
+    __call__ = forward
+
+    def stitched_split_feature_map(self, x: np.ndarray) -> np.ndarray:
+        """Return only the stitched split feature map (useful for testing)."""
+        return self._run_patch_stage(x)
+
+    # ------------------------------------------------------------ patch stage
+    def _run_patch_stage(self, x: np.ndarray) -> np.ndarray:
+        plan = self.plan
+        graph = plan.graph
+        split_shape = self._shapes[plan.split_output_node]
+        n = x.shape[0]
+        stitched = np.zeros((n, *split_shape), dtype=np.float32)
+
+        for branch in plan.branches:
+            values: dict[str, tuple[np.ndarray, Region]] = {}
+            input_region = branch.clamped_regions[INPUT_NODE]
+            values[INPUT_NODE] = (
+                x[:, :, input_region.row_start : input_region.row_stop,
+                  input_region.col_start : input_region.col_stop],
+                input_region,
+            )
+            for name in plan.prefix_nodes:
+                if name not in branch.clamped_regions:
+                    continue
+                out_array, out_region = self._compute_node(branch, name, values)
+                fm = self._fm_by_output.get(name)
+                if fm is not None and self.branch_hook is not None:
+                    out_array = self.branch_hook(branch.patch_id, fm, out_array)
+                values[name] = (out_array, out_region)
+
+            split_array, split_region = values[plan.split_output_node]
+            tile = branch.output_region
+            row0 = tile.row_start - split_region.row_start
+            col0 = tile.col_start - split_region.col_start
+            stitched[:, :, tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] = (
+                split_array[:, :, row0 : row0 + tile.height, col0 : col0 + tile.width]
+            )
+        return stitched
+
+    def _compute_node(
+        self,
+        branch: BranchPlan,
+        name: str,
+        values: dict[str, tuple[np.ndarray, Region]],
+    ) -> tuple[np.ndarray, Region]:
+        """Compute the clamped demanded region of ``name`` for one branch."""
+        graph = self.plan.graph
+        node = graph.nodes[name]
+        layer = node.layer
+        out_region = branch.clamped_regions[name]
+        kernel, stride, padding = layer.spatial_params()
+
+        if isinstance(layer, (Conv2d, DepthwiseConv2d, MaxPool2d, AvgPool2d)):
+            desired = backward_region(out_region, kernel, stride, padding)
+            src_array, src_region = values[node.inputs[0]]
+            window = self._extract_padded(src_array, src_region, desired, name)
+            out = self._run_spatial_layer(layer, window)
+            return out, out_region
+
+        # Elementwise / merge layers: gather each input over exactly out_region.
+        inputs = []
+        for src in node.inputs:
+            src_array, src_region = values[src]
+            inputs.append(self._extract_exact(src_array, src_region, out_region, name))
+        return layer.forward(*inputs), out_region
+
+    def _extract_padded(
+        self, array: np.ndarray, available: Region, desired: Region, consumer: str
+    ) -> np.ndarray:
+        """Slice ``desired`` out of ``array`` (covering ``available``), zero-padding
+        the parts of ``desired`` that fall outside the feature map."""
+        inner = Region(
+            max(desired.row_start, available.row_start),
+            min(desired.row_stop, available.row_stop),
+            max(desired.col_start, available.col_start),
+            min(desired.col_stop, available.col_stop),
+        )
+        if inner.height <= 0 or inner.width <= 0:  # pragma: no cover - defensive
+            raise RuntimeError(f"empty overlap while computing {consumer}")
+        sliced = array[
+            :,
+            :,
+            inner.row_start - available.row_start : inner.row_stop - available.row_start,
+            inner.col_start - available.col_start : inner.col_stop - available.col_start,
+        ]
+        pad_top = inner.row_start - desired.row_start
+        pad_bottom = desired.row_stop - inner.row_stop
+        pad_left = inner.col_start - desired.col_start
+        pad_right = desired.col_stop - inner.col_stop
+        if pad_top or pad_bottom or pad_left or pad_right:
+            sliced = np.pad(
+                sliced,
+                [(0, 0), (0, 0), (pad_top, pad_bottom), (pad_left, pad_right)],
+                mode="constant",
+            )
+        return sliced
+
+    @staticmethod
+    def _extract_exact(
+        array: np.ndarray, available: Region, wanted: Region, consumer: str
+    ) -> np.ndarray:
+        """Slice exactly ``wanted`` (must lie inside ``available``)."""
+        if not available.contains(wanted):  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"branch region bookkeeping error at {consumer}: "
+                f"wanted {wanted}, available {available}"
+            )
+        return array[
+            :,
+            :,
+            wanted.row_start - available.row_start : wanted.row_stop - available.row_start,
+            wanted.col_start - available.col_start : wanted.col_stop - available.col_start,
+        ]
+
+    @staticmethod
+    def _run_spatial_layer(layer, window: np.ndarray) -> np.ndarray:
+        """Run a spatial layer on a pre-padded window (padding handled by caller)."""
+        if isinstance(layer, Conv2d):
+            out, _ = F.conv2d_forward(
+                window, layer.params["weight"], layer.params.get("bias"), layer.stride, 0
+            )
+            return out
+        if isinstance(layer, DepthwiseConv2d):
+            out, _ = F.depthwise_conv2d_forward(
+                window, layer.params["weight"], layer.params.get("bias"), layer.stride, 0
+            )
+            return out
+        if isinstance(layer, MaxPool2d):
+            out, _ = F.maxpool2d_forward(window, layer.kernel_size, layer.stride, 0)
+            return out
+        if isinstance(layer, AvgPool2d):
+            return F.avgpool2d_forward(window, layer.kernel_size, layer.stride, 0)
+        raise TypeError(f"unsupported spatial layer {type(layer).__name__}")  # pragma: no cover
+
+    # ---------------------------------------------------------------- suffix
+    def _run_suffix(self, x: np.ndarray, stitched: np.ndarray) -> np.ndarray:
+        plan = self.plan
+        graph = plan.graph
+        values: dict[str, np.ndarray] = {INPUT_NODE: x, plan.split_output_node: stitched}
+        for name in plan.suffix_nodes:
+            node = graph.nodes[name]
+            inputs = [values[src] for src in node.inputs]
+            out = node.layer.forward(*inputs)
+            fm = self._fm_by_output.get(name)
+            if fm is not None and self.suffix_hook is not None:
+                out = self.suffix_hook(fm, out)
+            values[name] = out
+        return values[graph.output_node]

@@ -1,0 +1,111 @@
+"""Patch-schedule search: where to split the network and how many patches.
+
+MCUNetV2 chooses its patch stage so that the memory-dominant head of the
+network is executed per patch while the rest runs layer-by-layer; Cipolletta
+et al. search the split point and branch length explicitly.  This module
+provides the same facility for any zoo model:
+
+* :func:`candidate_split_nodes` enumerates sensible split feature maps
+  (spatially downsampled, inside the first portion of the network);
+* :func:`find_patch_schedule` evaluates candidate (split, grid) pairs and
+  picks the cheapest plan that fits the SRAM budget — or, when none fits, the
+  plan with the smallest peak memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn import Graph
+from ..quant.config import QuantizationConfig
+from ..quant.points import FeatureMapIndex
+from .analysis import patch_peak_bytes, redundant_macs
+from .plan import PatchPlan, build_patch_plan
+
+__all__ = ["PatchScheduleResult", "candidate_split_nodes", "find_patch_schedule"]
+
+
+@dataclass
+class PatchScheduleResult:
+    """Outcome of the schedule search."""
+
+    plan: PatchPlan
+    peak_memory_bytes: int
+    redundant_macs: int
+    fits_budget: bool
+
+
+def candidate_split_nodes(
+    graph: Graph,
+    fm_index: FeatureMapIndex | None = None,
+    max_prefix_fraction: float = 0.6,
+    min_spatial: int = 4,
+) -> list[str]:
+    """Feature-map output nodes that are reasonable patch-stage boundaries.
+
+    A candidate must lie in the first ``max_prefix_fraction`` of the feature
+    maps, be spatially smaller than the network input (so the patch stage
+    contains at least one downsampling layer) and keep at least
+    ``min_spatial`` rows/columns so a patch grid fits.
+    """
+    fm_index = fm_index if fm_index is not None else FeatureMapIndex(graph)
+    _, in_h, in_w = graph.input_shape
+    limit = max(1, int(len(fm_index) * max_prefix_fraction))
+    candidates = []
+    for fm in fm_index:
+        if fm.index >= limit:
+            break
+        _, h, w = fm.shape
+        if h < in_h and w < in_w and h >= min_spatial and w >= min_spatial:
+            candidates.append(fm.output_node)
+    return candidates
+
+
+def find_patch_schedule(
+    graph: Graph,
+    sram_budget_bytes: int,
+    grids: tuple[int, ...] = (2, 3, 4),
+    config: QuantizationConfig | None = None,
+    fm_index: FeatureMapIndex | None = None,
+    max_prefix_fraction: float = 0.6,
+) -> PatchScheduleResult:
+    """Search split points and patch grids for the cheapest feasible plan.
+
+    Among plans whose peak SRAM fits ``sram_budget_bytes`` the one with the
+    least redundant computation wins; if nothing fits, the plan with the
+    smallest peak SRAM is returned (``fits_budget`` is False in that case).
+    """
+    fm_index = fm_index if fm_index is not None else FeatureMapIndex(graph)
+    config = config if config is not None else QuantizationConfig.uniform(8)
+    candidates = candidate_split_nodes(graph, fm_index, max_prefix_fraction)
+    if not candidates:
+        raise ValueError("no valid patch-stage split points in this graph")
+
+    best_feasible: PatchScheduleResult | None = None
+    best_any: PatchScheduleResult | None = None
+
+    for split_node in candidates:
+        for grid in grids:
+            try:
+                plan = build_patch_plan(graph, split_node, grid, fm_index)
+            except ValueError:
+                continue
+            peak = patch_peak_bytes(plan, config)
+            redundant = redundant_macs(plan)
+            result = PatchScheduleResult(
+                plan=plan,
+                peak_memory_bytes=peak,
+                redundant_macs=redundant,
+                fits_budget=peak <= sram_budget_bytes,
+            )
+            if best_any is None or peak < best_any.peak_memory_bytes:
+                best_any = result
+            if result.fits_budget and (
+                best_feasible is None or redundant < best_feasible.redundant_macs
+            ):
+                best_feasible = result
+
+    if best_feasible is not None:
+        return best_feasible
+    assert best_any is not None
+    return best_any

@@ -1,0 +1,65 @@
+"""Quantization substrate: quantizers, observers, feature-map indexing,
+BitOPs and memory models, and the fake-quantized executor."""
+
+from .bitops import baseline_bitops, bitops_reduction, feature_map_bitops, model_bitops
+from .config import QuantizationConfig
+from .executor import QuantizedExecutor, collect_activations
+from .memory import (
+    feature_map_bytes,
+    input_bytes,
+    model_storage_bytes,
+    peak_activation_bytes,
+    tensor_bytes,
+    weight_bytes,
+)
+from .observers import (
+    GaussianStatsObserver,
+    MinMaxObserver,
+    MovingAverageMinMaxObserver,
+    Observer,
+    PercentileObserver,
+)
+from .points import COMPUTE_LAYER_TYPES, FUSIBLE_LAYER_TYPES, FeatureMap, FeatureMapIndex
+from .quantizers import (
+    SUPPORTED_BITWIDTHS,
+    AffineQuantizer,
+    QuantParams,
+    SymmetricQuantizer,
+    fake_quantize,
+    quantization_error,
+    quantize_weight_per_channel,
+    sqnr_db,
+)
+
+__all__ = [
+    "SUPPORTED_BITWIDTHS",
+    "QuantParams",
+    "AffineQuantizer",
+    "SymmetricQuantizer",
+    "fake_quantize",
+    "quantize_weight_per_channel",
+    "quantization_error",
+    "sqnr_db",
+    "Observer",
+    "MinMaxObserver",
+    "MovingAverageMinMaxObserver",
+    "PercentileObserver",
+    "GaussianStatsObserver",
+    "FeatureMap",
+    "FeatureMapIndex",
+    "COMPUTE_LAYER_TYPES",
+    "FUSIBLE_LAYER_TYPES",
+    "QuantizationConfig",
+    "feature_map_bitops",
+    "model_bitops",
+    "bitops_reduction",
+    "baseline_bitops",
+    "tensor_bytes",
+    "feature_map_bytes",
+    "input_bytes",
+    "weight_bytes",
+    "peak_activation_bytes",
+    "model_storage_bytes",
+    "QuantizedExecutor",
+    "collect_activations",
+]

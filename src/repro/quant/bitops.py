@@ -1,0 +1,84 @@
+"""Bit-operation (BitOPs) accounting.
+
+The paper uses BitOPs as its computation metric (Section III-B, Tables I-III).
+Following the convention of HAQ / HAWQ and the CMix-NN cost model, the BitOPs
+of a compute operator are::
+
+    BitOPs(op) = MACs(op) * weight_bits(op) * activation_bits(input feature map)
+
+so quantizing a feature map to fewer bits reduces the cost of every operator
+that *reads* it.  The 8-bit/8-bit configuration is the deployment baseline the
+paper's absolute numbers correspond to (e.g. 19.2 GBitOPs for MobileNetV2 =
+300 MMACs x 8 x 8).
+"""
+
+from __future__ import annotations
+
+from .config import QuantizationConfig
+from .points import FeatureMapIndex
+
+__all__ = [
+    "feature_map_bitops",
+    "model_bitops",
+    "bitops_reduction",
+    "baseline_bitops",
+]
+
+
+def _input_activation_bits(fm_index: FeatureMapIndex, index: int, config: QuantizationConfig) -> int:
+    """Bitwidth of the activations read by feature map ``index``'s compute node.
+
+    When the compute node reads several feature maps (Add/Concat) the widest
+    input dominates the multiply cost; reading the raw network input uses
+    ``config.input_bits``.
+    """
+    sources = fm_index.sources[index]
+    bits = []
+    for src in sources:
+        if src is None:
+            bits.append(config.input_bits)
+        else:
+            bits.append(config.act_bits(src))
+    return max(bits) if bits else config.input_bits
+
+
+def feature_map_bitops(fm_index: FeatureMapIndex, index: int, config: QuantizationConfig) -> int:
+    """BitOPs of the compute operator that produces feature map ``index``."""
+    fm = fm_index[index]
+    w_bits = config.w_bits(fm.compute_node)
+    a_bits = _input_activation_bits(fm_index, index, config)
+    return fm.macs * w_bits * a_bits
+
+
+def model_bitops(fm_index: FeatureMapIndex, config: QuantizationConfig) -> int:
+    """Total BitOPs of one inference under ``config``."""
+    return sum(feature_map_bitops(fm_index, i, config) for i in range(len(fm_index)))
+
+
+def baseline_bitops(fm_index: FeatureMapIndex, bits: int = 8) -> int:
+    """Total BitOPs of the uniform ``bits``/``bits`` reference configuration."""
+    return model_bitops(fm_index, QuantizationConfig.uniform(bits))
+
+
+def bitops_reduction(
+    fm_index: FeatureMapIndex,
+    index: int,
+    bits: int,
+    config: QuantizationConfig,
+    reference_bits: int = 8,
+) -> int:
+    """BitOPs saved by quantizing feature map ``index`` to ``bits``.
+
+    This is the paper's ``ΔB(i, b)``: the reduction relative to keeping the
+    feature map at ``reference_bits``, holding every other assignment in
+    ``config`` fixed.  The saving accrues in the operators consuming the
+    feature map.
+    """
+    if bits > reference_bits:
+        return 0
+    saved = 0
+    for consumer in fm_index.consumers[index]:
+        consumer_fm = fm_index[consumer]
+        w_bits = config.w_bits(consumer_fm.compute_node)
+        saved += consumer_fm.macs * w_bits * (reference_bits - bits)
+    return saved

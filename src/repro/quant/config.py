@@ -1,0 +1,88 @@
+"""Quantization configurations: per-feature-map activation bits, per-layer weight bits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .points import FeatureMapIndex
+from .quantizers import SUPPORTED_BITWIDTHS
+
+__all__ = ["QuantizationConfig"]
+
+
+@dataclass
+class QuantizationConfig:
+    """Bitwidth assignment for a model.
+
+    Attributes
+    ----------
+    activation_bits:
+        Map from feature-map index to activation bitwidth.  Indices missing
+        from the map use ``default_activation_bits``.
+    weight_bits:
+        Map from compute-node name to weight bitwidth; missing entries use
+        ``default_weight_bits``.  QuantMCU keeps weights at 8 bits ("8/MP" in
+        Table II) while the mixed-precision baselines also vary weights.
+    input_bits:
+        Bitwidth of the network input (8 in all deployed configurations).
+    """
+
+    activation_bits: dict[int, int] = field(default_factory=dict)
+    weight_bits: dict[str, int] = field(default_factory=dict)
+    default_activation_bits: int = 8
+    default_weight_bits: int = 8
+    input_bits: int = 8
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def uniform(cls, bits: int, weight_bits: int | None = None) -> "QuantizationConfig":
+        """Uniform precision for every activation (and optionally weights)."""
+        return cls(
+            default_activation_bits=bits,
+            default_weight_bits=weight_bits if weight_bits is not None else bits,
+        )
+
+    @classmethod
+    def from_bitwidth_list(
+        cls, bits: list[int], weight_bits: int = 8, input_bits: int = 8
+    ) -> "QuantizationConfig":
+        """Build a config from a per-feature-map bitwidth list (index order)."""
+        return cls(
+            activation_bits={i: b for i, b in enumerate(bits)},
+            default_weight_bits=weight_bits,
+            input_bits=input_bits,
+        )
+
+    # ------------------------------------------------------------- accessors
+    def act_bits(self, index: int) -> int:
+        """Activation bitwidth of feature map ``index``."""
+        return int(self.activation_bits.get(index, self.default_activation_bits))
+
+    def w_bits(self, compute_node: str) -> int:
+        """Weight bitwidth of compute node ``compute_node``."""
+        return int(self.weight_bits.get(compute_node, self.default_weight_bits))
+
+    def set_act_bits(self, index: int, bits: int) -> None:
+        """Assign ``bits`` to feature map ``index`` (validated)."""
+        if bits not in SUPPORTED_BITWIDTHS:
+            raise ValueError(f"unsupported activation bitwidth {bits}")
+        self.activation_bits[index] = int(bits)
+
+    def as_list(self, fm_index: FeatureMapIndex) -> list[int]:
+        """Activation bitwidths as a dense list in feature-map order."""
+        return [self.act_bits(i) for i in range(len(fm_index))]
+
+    def copy(self) -> "QuantizationConfig":
+        """Deep copy of this configuration."""
+        return QuantizationConfig(
+            activation_bits=dict(self.activation_bits),
+            weight_bits=dict(self.weight_bits),
+            default_activation_bits=self.default_activation_bits,
+            default_weight_bits=self.default_weight_bits,
+            input_bits=self.input_bits,
+        )
+
+    def mean_activation_bits(self, fm_index: FeatureMapIndex) -> float:
+        """Average activation bitwidth over all feature maps."""
+        bits = self.as_list(fm_index)
+        return sum(bits) / len(bits) if bits else float(self.default_activation_bits)

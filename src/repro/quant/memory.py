@@ -1,0 +1,76 @@
+"""Activation- and weight-memory models.
+
+Peak SRAM use is the binding constraint on MCUs: during layer-based inference
+the input and output activation buffers of the currently executing operator
+must both be resident, so the peak is the maximum of that sum across the
+network.  Patch-based inference lowers this peak by shrinking the spatial
+extent of the buffers inside the patch stage; quantization lowers it further
+by shrinking the bytes-per-element.  Weights live in flash and are counted
+separately.
+
+These functions are the ``Mem(i, b_i)`` of the paper's Equation 7 and the
+"Peak Memory" / "Memory" columns of Tables I and II.
+"""
+
+from __future__ import annotations
+
+from .config import QuantizationConfig
+from .points import FeatureMapIndex
+
+__all__ = [
+    "tensor_bytes",
+    "feature_map_bytes",
+    "input_bytes",
+    "weight_bytes",
+    "peak_activation_bytes",
+    "model_storage_bytes",
+]
+
+
+def tensor_bytes(num_elements: int, bits: int) -> int:
+    """Bytes needed to store ``num_elements`` values at ``bits`` bits each."""
+    return (num_elements * bits + 7) // 8
+
+
+def feature_map_bytes(fm_index: FeatureMapIndex, index: int, config: QuantizationConfig) -> int:
+    """SRAM bytes of feature map ``index`` under ``config`` (the paper's ``Mem(i, b_i)``)."""
+    fm = fm_index[index]
+    return tensor_bytes(fm.num_elements, config.act_bits(index))
+
+
+def input_bytes(fm_index: FeatureMapIndex, config: QuantizationConfig) -> int:
+    """SRAM bytes of the network input tensor."""
+    c, h, w = fm_index.graph.input_shape
+    return tensor_bytes(c * h * w, config.input_bits)
+
+
+def weight_bytes(fm_index: FeatureMapIndex, config: QuantizationConfig) -> int:
+    """Flash bytes of all weights of feature-map-producing operators."""
+    total = 0
+    for fm in fm_index:
+        total += tensor_bytes(fm.weight_params, config.w_bits(fm.compute_node))
+    return total
+
+
+def peak_activation_bytes(fm_index: FeatureMapIndex, config: QuantizationConfig) -> int:
+    """Peak SRAM for layer-by-layer execution under ``config``.
+
+    For every compute operator the working set is the sum of its input feature
+    maps plus its output feature map; the peak is the maximum working set over
+    the network.
+    """
+    peak = 0
+    for index in range(len(fm_index)):
+        working = feature_map_bytes(fm_index, index, config)
+        for src in fm_index.sources[index]:
+            if src is None:
+                working += input_bytes(fm_index, config)
+            else:
+                working += feature_map_bytes(fm_index, src, config)
+        peak = max(peak, working)
+    return peak
+
+
+def model_storage_bytes(fm_index: FeatureMapIndex, config: QuantizationConfig) -> int:
+    """Total model footprint: flash weights plus peak SRAM activations."""
+    return weight_bytes(fm_index, config) + peak_activation_bytes(fm_index, config)

@@ -1,0 +1,182 @@
+"""Range observers used to calibrate activation quantizers.
+
+Observers watch activation tensors during calibration forward passes and
+summarise the value range that the affine quantizer should cover.  Three
+strategies are provided, mirroring common deployment practice:
+
+* :class:`MinMaxObserver` — exact running min/max (sensitive to outliers);
+* :class:`MovingAverageMinMaxObserver` — exponentially smoothed min/max;
+* :class:`PercentileObserver` — clips to a percentile of the observed
+  distribution, the usual way to tame heavy-tailed activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Observer",
+    "MinMaxObserver",
+    "MovingAverageMinMaxObserver",
+    "PercentileObserver",
+    "GaussianStatsObserver",
+]
+
+
+class Observer:
+    """Base class: accumulate statistics via :meth:`observe`, then query the range."""
+
+    def observe(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def range(self) -> tuple[float, float]:
+        """Return the calibrated ``(low, high)`` range."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class MinMaxObserver(Observer):
+    """Track the exact global minimum and maximum."""
+
+    def __init__(self) -> None:
+        self._low = np.inf
+        self._high = -np.inf
+
+    def observe(self, x: np.ndarray) -> None:
+        if x.size == 0:
+            return
+        self._low = min(self._low, float(x.min()))
+        self._high = max(self._high, float(x.max()))
+
+    def range(self) -> tuple[float, float]:
+        if self._low > self._high:
+            return (0.0, 0.0)
+        return (self._low, self._high)
+
+    def reset(self) -> None:
+        self._low = np.inf
+        self._high = -np.inf
+
+
+class MovingAverageMinMaxObserver(Observer):
+    """Exponential moving average of per-batch min/max."""
+
+    def __init__(self, momentum: float = 0.9) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._low: float | None = None
+        self._high: float | None = None
+
+    def observe(self, x: np.ndarray) -> None:
+        if x.size == 0:
+            return
+        lo, hi = float(x.min()), float(x.max())
+        if self._low is None:
+            self._low, self._high = lo, hi
+        else:
+            self._low = self.momentum * self._low + (1 - self.momentum) * lo
+            self._high = self.momentum * self._high + (1 - self.momentum) * hi
+
+    def range(self) -> tuple[float, float]:
+        if self._low is None:
+            return (0.0, 0.0)
+        return (self._low, self._high)
+
+    def reset(self) -> None:
+        self._low = None
+        self._high = None
+
+
+class PercentileObserver(Observer):
+    """Clip the calibration range to a two-sided percentile of observed values.
+
+    Keeps a bounded reservoir of observed values so memory stays constant even
+    over long calibration runs.
+    """
+
+    def __init__(self, percentile: float = 99.9, reservoir_size: int = 100_000, seed: int = 0) -> None:
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+        self.percentile = percentile
+        self.reservoir_size = reservoir_size
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: np.ndarray | None = None
+
+    def observe(self, x: np.ndarray) -> None:
+        flat = x.reshape(-1)
+        if flat.size == 0:
+            return
+        if flat.size > self.reservoir_size:
+            idx = self._rng.choice(flat.size, self.reservoir_size, replace=False)
+            flat = flat[idx]
+        if self._reservoir is None:
+            self._reservoir = flat.astype(np.float64)
+        else:
+            self._reservoir = np.concatenate([self._reservoir, flat.astype(np.float64)])
+            if self._reservoir.size > self.reservoir_size:
+                idx = self._rng.choice(self._reservoir.size, self.reservoir_size, replace=False)
+                self._reservoir = self._reservoir[idx]
+
+    def range(self) -> tuple[float, float]:
+        if self._reservoir is None or self._reservoir.size == 0:
+            return (0.0, 0.0)
+        lower_q = 100.0 - self.percentile
+        low = float(np.percentile(self._reservoir, lower_q))
+        high = float(np.percentile(self._reservoir, self.percentile))
+        return (low, high)
+
+    def reset(self) -> None:
+        self._reservoir = None
+
+
+class GaussianStatsObserver(Observer):
+    """Track running mean/variance of activations (used by VDPC's PDF test).
+
+    The paper models activation distributions as Gaussian and classifies a
+    value as an outlier when its probability density falls below the threshold
+    ``phi``; this observer supplies the ``mu``/``sigma`` of that Gaussian using
+    Welford-style streaming moments.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._low = np.inf
+        self._high = -np.inf
+
+    def observe(self, x: np.ndarray) -> None:
+        flat = x.reshape(-1).astype(np.float64)
+        if flat.size == 0:
+            return
+        batch_count = flat.size
+        batch_mean = float(flat.mean())
+        batch_m2 = float(((flat - batch_mean) ** 2).sum())
+        delta = batch_mean - self._mean
+        total = self._count + batch_count
+        self._mean += delta * batch_count / total
+        self._m2 += batch_m2 + delta**2 * self._count * batch_count / total
+        self._count = total
+        self._low = min(self._low, float(flat.min()))
+        self._high = max(self._high, float(flat.max()))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        if self._count < 2:
+            return 0.0
+        return float(np.sqrt(self._m2 / self._count))
+
+    def range(self) -> tuple[float, float]:
+        if self._count == 0:
+            return (0.0, 0.0)
+        return (self._low, self._high)
+
+    def reset(self) -> None:
+        self.__init__()

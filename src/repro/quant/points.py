@@ -1,0 +1,180 @@
+"""Feature-map indexing: mapping a model graph onto the paper's "feature maps".
+
+The paper reasons about quantization per *feature map*: the activation tensor
+produced by each compute operator (convolution, pooling, residual add, ...).
+In a deployed MCU graph the batch-norm and activation functions are fused into
+the producing operator, so the quantized tensor is the output *after* those
+fused ops.  :class:`FeatureMapIndex` recovers exactly this view from a
+:class:`repro.nn.Graph`:
+
+* one :class:`FeatureMap` per compute node, whose ``output_node`` is the end of
+  the fused BN/activation chain following it;
+* ``sources[i]`` — the indices of the feature maps consumed by feature map
+  ``i``'s compute node (``None`` entries denote the graph input);
+* ``consumers[i]`` — the indices of feature maps whose compute node reads
+  feature map ``i``.
+
+Every quantization decision in the reproduction (VDQS, the baselines, the
+BitOPs and memory models) is expressed in terms of these indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Graph,
+    Identity,
+    LeakyReLU,
+    MaxPool2d,
+    Pad2d,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+)
+from ..nn.graph import INPUT_NODE
+
+__all__ = ["FeatureMap", "FeatureMapIndex", "COMPUTE_LAYER_TYPES", "FUSIBLE_LAYER_TYPES"]
+
+#: Layers that produce a feature map the paper would assign a bitwidth to.
+COMPUTE_LAYER_TYPES = (Conv2d, DepthwiseConv2d, MaxPool2d, AvgPool2d, Add, Concat)
+
+#: Layers that are fused into the preceding compute op at deployment time.
+FUSIBLE_LAYER_TYPES = (BatchNorm2d, ReLU, ReLU6, LeakyReLU, Sigmoid, Dropout, Identity, Pad2d)
+
+
+@dataclass(frozen=True)
+class FeatureMap:
+    """One quantizable activation tensor of the model."""
+
+    index: int
+    compute_node: str
+    output_node: str
+    shape: tuple[int, int, int]
+    macs: int
+    weight_params: int
+
+    @property
+    def num_elements(self) -> int:
+        c, h, w = self.shape
+        return c * h * w
+
+
+class FeatureMapIndex:
+    """Feature-map view of a model graph (see module docstring)."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        shapes = graph.shapes()
+        consumers_map = graph.consumers()
+        macs_map = graph.macs()
+
+        self.feature_maps: list[FeatureMap] = []
+        self._fm_by_compute: dict[str, int] = {}
+        self._fm_by_output: dict[str, int] = {}
+
+        for name in graph.topological_order():
+            node = graph.nodes[name]
+            if not isinstance(node.layer, COMPUTE_LAYER_TYPES):
+                continue
+            if len(shapes[name]) != 3:
+                continue
+            output_node = self._effective_output(graph, name, consumers_map)
+            index = len(self.feature_maps)
+            fm = FeatureMap(
+                index=index,
+                compute_node=name,
+                output_node=output_node,
+                shape=tuple(shapes[output_node]),
+                macs=int(macs_map[name]),
+                weight_params=node.layer.param_count(),
+            )
+            self.feature_maps.append(fm)
+            self._fm_by_compute[name] = index
+            self._fm_by_output[output_node] = index
+
+        # sources[i]: indices feeding feature map i's compute node (None = graph input).
+        self.sources: list[list[int | None]] = []
+        for fm in self.feature_maps:
+            srcs: list[int | None] = []
+            for inp in graph.nodes[fm.compute_node].inputs:
+                srcs.append(self._trace_back(graph, inp))
+            self.sources.append(srcs)
+
+        # consumers[i]: indices of feature maps reading feature map i.
+        self.consumers: list[list[int]] = [[] for _ in self.feature_maps]
+        for idx, srcs in enumerate(self.sources):
+            for src in srcs:
+                if src is not None:
+                    self.consumers[src].append(idx)
+
+    # ------------------------------------------------------------------ build
+    @staticmethod
+    def _effective_output(graph: Graph, compute_node: str, consumers_map: dict[str, list[str]]) -> str:
+        """Follow the fused BN/activation chain after ``compute_node``."""
+        current = compute_node
+        while True:
+            next_nodes = consumers_map.get(current, [])
+            if len(next_nodes) != 1:
+                return current
+            candidate = next_nodes[0]
+            if isinstance(graph.nodes[candidate].layer, FUSIBLE_LAYER_TYPES):
+                current = candidate
+            else:
+                return current
+
+    def _trace_back(self, graph: Graph, node_name: str) -> int | None:
+        """Walk backwards through fusible nodes to the producing feature map."""
+        current = node_name
+        while True:
+            if current == INPUT_NODE:
+                return None
+            if current in self._fm_by_output or current in self._fm_by_compute:
+                return self._fm_by_output.get(current, self._fm_by_compute.get(current))
+            layer = graph.nodes[current].layer
+            if isinstance(layer, FUSIBLE_LAYER_TYPES):
+                inputs = graph.nodes[current].inputs
+                if len(inputs) != 1:  # pragma: no cover - fusible layers are unary
+                    raise ValueError(f"fusible node {current} has {len(inputs)} inputs")
+                current = inputs[0]
+            else:
+                # A non-quantizable producer (e.g. a flattened tensor); treat as input.
+                return None
+
+    # -------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self.feature_maps)
+
+    def __iter__(self):
+        return iter(self.feature_maps)
+
+    def __getitem__(self, index: int) -> FeatureMap:
+        return self.feature_maps[index]
+
+    def by_compute_node(self, name: str) -> FeatureMap:
+        """Feature map produced by compute node ``name``."""
+        return self.feature_maps[self._fm_by_compute[name]]
+
+    def by_output_node(self, name: str) -> FeatureMap | None:
+        """Feature map whose (fused) output node is ``name``, if any."""
+        idx = self._fm_by_output.get(name)
+        return None if idx is None else self.feature_maps[idx]
+
+    def output_nodes(self) -> list[str]:
+        """Output node name of every feature map, in index order."""
+        return [fm.output_node for fm in self.feature_maps]
+
+    def last_index(self) -> int:
+        """Index of the final (deepest) feature map."""
+        return len(self.feature_maps) - 1
+
+    def total_macs(self) -> int:
+        """Total MACs attributed to feature-map-producing compute nodes."""
+        return sum(fm.macs for fm in self.feature_maps)

@@ -1,0 +1,104 @@
+"""Tests for the inference-scheduling and quantization baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    run_cipolletta,
+    run_haq,
+    run_hawq_v3,
+    run_layer_based,
+    run_mcunetv2,
+    run_pact,
+    run_rnnpool,
+    run_rusci,
+    run_uniform_baseline,
+)
+from repro.hardware import ARDUINO_NANO_33_BLE, STM32H743
+from repro.quant import FeatureMapIndex, QuantizationConfig, model_bitops
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.models import build_model
+
+    graph = build_model("mobilenetv2", resolution=32, num_classes=6, width_mult=0.35, seed=4)
+    fm_index = FeatureMapIndex(graph)
+    calib = np.random.default_rng(0).standard_normal((6, 3, 32, 32)).astype(np.float32)
+    return graph, fm_index, calib
+
+
+class TestInferenceBaselines:
+    def test_layer_based_matches_analytics(self, setup):
+        graph, fm_index, _ = setup
+        result = run_layer_based(graph, ARDUINO_NANO_33_BLE, fm_index=fm_index)
+        assert result.bitops == model_bitops(fm_index, QuantizationConfig.uniform(8))
+        assert result.plan is None
+        assert result.latency_ms > 0
+
+    def test_patch_baselines_reduce_memory(self, setup):
+        graph, fm_index, _ = setup
+        layer = run_layer_based(graph, ARDUINO_NANO_33_BLE, fm_index=fm_index)
+        budget = int(layer.peak_memory_bytes * 0.5)
+        mcunet = run_mcunetv2(
+            graph, ARDUINO_NANO_33_BLE, fm_index=fm_index, sram_budget_bytes=budget
+        )
+        cipolletta = run_cipolletta(graph, ARDUINO_NANO_33_BLE, fm_index=fm_index)
+        assert mcunet.peak_memory_bytes < layer.peak_memory_bytes
+        assert cipolletta.peak_memory_bytes <= mcunet.peak_memory_bytes
+        # Patch-based methods pay with BitOPs and latency.
+        assert mcunet.bitops >= layer.bitops
+        assert cipolletta.latency_seconds > layer.latency_seconds
+
+    def test_rnnpool_runs(self, setup):
+        graph, fm_index, _ = setup
+        result = run_rnnpool(graph, STM32H743, fm_index=fm_index)
+        assert result.name == "RNNPool"
+        assert result.plan is not None
+        assert result.bitops >= model_bitops(fm_index, QuantizationConfig.uniform(8))
+
+
+class TestQuantBaselines:
+    def test_uniform_baseline(self, setup):
+        graph, fm_index, calib = setup
+        result = run_uniform_baseline(graph, calib, fm_index=fm_index, bits=8)
+        assert result.weight_bits_label == "8/8"
+        assert result.bitops == model_bitops(fm_index, QuantizationConfig.uniform(8))
+
+    def test_pact_quarter_of_baseline_bitops(self, setup):
+        graph, fm_index, calib = setup
+        base = run_uniform_baseline(graph, calib, fm_index=fm_index, bits=8)
+        pact = run_pact(graph, calib, fm_index=fm_index, bits=4)
+        # Activations and weights at 4 bits cut BitOPs ~4x (the network input
+        # stays 8-bit, so the first operator keeps a little extra cost).
+        assert base.bitops // 4 <= pact.bitops < base.bitops // 3
+        assert pact.storage_bytes < base.storage_bytes
+
+    def test_rusci_respects_memory_budgets(self, setup):
+        graph, fm_index, calib = setup
+        result = run_rusci(
+            graph,
+            calib,
+            sram_limit_bytes=8 * 1024,
+            flash_limit_bytes=64 * 1024,
+            fm_index=fm_index,
+        )
+        # With a tight SRAM budget at least some activations must go sub-byte.
+        bits = [result.config.act_bits(i) for i in range(len(fm_index))]
+        assert min(bits) < 8
+        assert result.config.default_weight_bits <= 8
+
+    def test_haq_improves_objective_and_is_slowest_style(self, setup):
+        graph, fm_index, calib = setup
+        result = run_haq(graph, calib, fm_index=fm_index, iterations=6, seed=1)
+        assert result.name == "HAQ"
+        assert result.search_seconds > 0
+        assert set(result.config.activation_bits) == set(range(len(fm_index)))
+
+    def test_hawq_assigns_low_bits_to_half(self, setup):
+        graph, fm_index, calib = setup
+        result = run_hawq_v3(graph, calib, fm_index=fm_index, low_bit_fraction=0.5)
+        bits = [result.config.act_bits(i) for i in range(len(fm_index))]
+        sub_byte = sum(1 for b in bits if b < 8)
+        assert abs(sub_byte - len(bits) // 2) <= 1
+        assert result.bitops < model_bitops(fm_index, QuantizationConfig.uniform(8))

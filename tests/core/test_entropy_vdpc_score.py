@@ -1,0 +1,163 @@
+"""Tests for the entropy estimator, VDPC and the quantization score."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GaussianOutlierModel,
+    PatchClass,
+    QuantizationScoreCalculator,
+    activation_entropy,
+    classify_patches,
+    entropy_reduction,
+    histogram_entropy,
+    quantized_entropy,
+)
+from repro.quant import FeatureMapIndex, collect_activations
+
+
+class TestEntropy:
+    def test_constant_tensor_zero_entropy(self):
+        assert histogram_entropy(np.full(100, 2.0)) == 0.0
+        assert histogram_entropy(np.array([])) == 0.0
+
+    def test_uniform_maximizes_entropy(self, rng):
+        uniform = rng.uniform(0, 1, 20_000)
+        peaked = np.concatenate([np.zeros(19_000), rng.uniform(0, 1, 1000)])
+        assert histogram_entropy(uniform, 64) > histogram_entropy(peaked, 64)
+
+    def test_entropy_bounded_by_log_bins(self, rng):
+        values = rng.standard_normal(5000)
+        assert histogram_entropy(values, 32) <= np.log(32) + 1e-9
+
+    def test_quantized_entropy_not_above_fp(self, rng):
+        values = rng.standard_normal(5000)
+        assert quantized_entropy(values, 2) <= activation_entropy(values) + 1e-9
+
+    def test_entropy_reduction_monotone_in_bits(self, rng):
+        values = rng.standard_normal(5000)
+        assert entropy_reduction(values, 2) >= entropy_reduction(values, 4) >= entropy_reduction(values, 8) >= 0.0
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_entropy_nonnegative(self, seed):
+        values = np.random.default_rng(seed).standard_normal(256)
+        assert histogram_entropy(values) >= 0.0
+
+
+class TestGaussianOutlierModel:
+    def test_fit_recovers_moments(self, rng):
+        data = rng.normal(1.0, 2.0, 20_000)
+        model = GaussianOutlierModel.fit(data, phi=0.95)
+        assert np.isclose(model.mean, 1.0, atol=0.1)
+        assert np.isclose(model.std, 2.0, atol=0.1)
+
+    def test_outlier_fraction_matches_coverage(self, rng):
+        data = rng.normal(0.0, 1.0, 100_000)
+        model = GaussianOutlierModel.fit(data, phi=0.96)
+        # By construction ~4% of Gaussian samples fall outside the 96% band.
+        assert np.isclose(model.outlier_fraction(data), 0.04, atol=0.01)
+
+    def test_band_widens_with_phi(self, rng):
+        data = rng.normal(0.0, 1.0, 10_000)
+        narrow = GaussianOutlierModel.fit(data, phi=0.90).non_outlier_band()
+        wide = GaussianOutlierModel.fit(data, phi=0.99).non_outlier_band()
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_density_mode(self, rng):
+        data = rng.normal(0.0, 0.3, 10_000)
+        model = GaussianOutlierModel.fit(data, phi=0.5, mode="density")
+        low, high = model.non_outlier_band()
+        assert low < 0 < high
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            GaussianOutlierModel.fit(np.ones(10), mode="bogus")
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            GaussianOutlierModel.fit(np.array([]))
+
+    def test_classify_patch_rule(self, rng):
+        data = rng.normal(0.0, 1.0, 50_000)
+        model = GaussianOutlierModel.fit(data, phi=0.96)
+        calm_patch = np.zeros(100)
+        hot_patch = np.full(100, 10.0)
+        assert model.classify_patch(calm_patch) is PatchClass.NON_OUTLIER
+        assert model.classify_patch(hot_patch) is PatchClass.OUTLIER
+
+
+class TestClassifyPatches:
+    def test_mixed_patches(self, rng):
+        background = rng.normal(0, 0.1, (4, 3, 8, 8))
+        hot = background.copy()
+        hot[0, 0, 0] = 50.0
+        result = classify_patches([background, hot], phi=0.96)
+        assert result.classes[0] is PatchClass.NON_OUTLIER
+        assert result.classes[1] is PatchClass.OUTLIER
+        assert result.num_outlier_patches == 1
+        assert result.num_non_outlier_patches == 1
+
+    def test_empty_patch_list_raises(self):
+        with pytest.raises(ValueError):
+            classify_patches([])
+
+    def test_min_outlier_fraction_relaxes_rule(self, rng):
+        values = rng.normal(0, 1.0, (1, 1, 32, 32))
+        # With a strict rule almost any Gaussian patch contains an outlier...
+        strict = classify_patches([values], phi=0.96, min_outlier_fraction=0.0)
+        # ...but requiring 50% of values to be outliers protects nothing.
+        relaxed = classify_patches([values], phi=0.96, min_outlier_fraction=0.5)
+        assert strict.classes[0] is PatchClass.OUTLIER
+        assert relaxed.classes[0] is PatchClass.NON_OUTLIER
+
+
+class TestQuantizationScore:
+    @pytest.fixture()
+    def calculator(self, tiny_mobilenet, rng):
+        x = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+        fm_index = FeatureMapIndex(tiny_mobilenet)
+        activations = collect_activations(tiny_mobilenet, x, fm_index)
+        return QuantizationScoreCalculator(fm_index, activations, lam=0.6)
+
+    def test_phi_zero_at_reference_bits(self, calculator):
+        assert calculator.phi(0, 8) == 0.0
+
+    def test_phi_larger_for_lower_bits(self, calculator):
+        assert calculator.phi(0, 2) > calculator.phi(0, 4) >= 0.0
+
+    def test_omega_nonnegative_and_monotone(self, calculator):
+        assert calculator.omega(1, 2) >= calculator.omega(1, 4) >= 0.0
+
+    def test_score_breakdown_consistent(self, calculator):
+        b = calculator.breakdown(2, 4)
+        assert np.isclose(b.score, -0.6 * b.omega + 0.4 * b.phi)
+
+    def test_lambda_one_prefers_8bit(self, tiny_mobilenet, rng):
+        x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        fm_index = FeatureMapIndex(tiny_mobilenet)
+        activations = collect_activations(tiny_mobilenet, x, fm_index)
+        calc = QuantizationScoreCalculator(fm_index, activations, lam=1.0)
+        for fm in (0, 2, 5):
+            assert calc.score(fm, 8) >= calc.score(fm, 2)
+
+    def test_lambda_zero_prefers_2bit_where_it_saves(self, tiny_mobilenet, rng):
+        x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        fm_index = FeatureMapIndex(tiny_mobilenet)
+        activations = collect_activations(tiny_mobilenet, x, fm_index)
+        calc = QuantizationScoreCalculator(fm_index, activations, lam=0.0)
+        # Pick a feature map with consumers (so quantizing it saves BitOPs).
+        fm_with_consumers = next(i for i in range(len(fm_index)) if fm_index.consumers[i])
+        assert calc.score(fm_with_consumers, 2) > calc.score(fm_with_consumers, 8)
+
+    def test_invalid_lambda(self, tiny_mobilenet):
+        with pytest.raises(ValueError):
+            QuantizationScoreCalculator(FeatureMapIndex(tiny_mobilenet), {}, lam=1.5)
+
+    def test_invalid_normalization(self, tiny_mobilenet):
+        with pytest.raises(ValueError):
+            QuantizationScoreCalculator(
+                FeatureMapIndex(tiny_mobilenet), {}, phi_normalization="bogus"
+            )

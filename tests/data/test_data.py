@@ -1,0 +1,141 @@
+"""Tests for the synthetic datasets and evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    SyntheticImageNet,
+    SyntheticVOC,
+    average_precision,
+    box_map,
+    iou,
+    mean_average_precision,
+    prediction_fidelity,
+    top1_accuracy,
+    top5_accuracy,
+)
+
+
+class TestSyntheticImageNet:
+    def test_shapes_and_labels(self):
+        ds = SyntheticImageNet(num_classes=5, samples_per_class=4, resolution=24, seed=0)
+        assert ds.images.shape == (20, 3, 24, 24)
+        assert set(np.unique(ds.labels)) == set(range(5))
+        assert ds.num_classes == 5
+
+    def test_splits_partition(self):
+        ds = SyntheticImageNet(num_classes=4, samples_per_class=10, resolution=16, seed=0)
+        train_x, _ = ds.train
+        test_x, _ = ds.test
+        assert len(train_x) + len(test_x) == len(ds)
+        assert len(ds.calibration) <= 16
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticImageNet(num_classes=3, samples_per_class=2, resolution=16, seed=7)
+        b = SyntheticImageNet(num_classes=3, samples_per_class=2, resolution=16, seed=7)
+        assert np.allclose(a.images, b.images)
+        assert (a.labels == b.labels).all()
+
+    def test_objects_produce_outlier_values(self):
+        """Object regions must be much brighter than the background (VDPC's premise)."""
+        ds = SyntheticImageNet(num_classes=4, samples_per_class=4, resolution=32, seed=0)
+        flat = np.abs(ds.images).reshape(len(ds.images), -1)
+        # The hottest pixels should be far above the median magnitude.
+        assert (flat.max(axis=1) > 4 * np.median(flat, axis=1)).all()
+
+    def test_center_bias_places_objects_centrally(self):
+        centered = SyntheticImageNet(
+            num_classes=2, samples_per_class=20, resolution=32, center_bias=1.0, seed=0
+        )
+        border_energy = np.abs(centered.images[:, :, :4, :]).mean()
+        center_energy = np.abs(centered.images[:, :, 12:20, 12:20]).mean()
+        assert center_energy > border_energy
+
+
+class TestSyntheticVOC:
+    def test_annotations_within_bounds(self):
+        ds = SyntheticVOC(num_classes=5, num_images=20, resolution=32, seed=0)
+        assert len(ds.annotations) == 20
+        for objects in ds.annotations:
+            assert 1 <= len(objects) <= 3
+            for class_id, r0, c0, r1, c1 in objects:
+                assert 0 <= class_id < 5
+                assert 0 <= r0 < r1 <= 32
+                assert 0 <= c0 < c1 <= 32
+
+    def test_multilabel_targets(self):
+        ds = SyntheticVOC(num_classes=4, num_images=10, resolution=24, seed=1)
+        targets = ds.multilabel_targets()
+        assert targets.shape == (10, 4)
+        assert ((targets == 0) | (targets == 1)).all()
+        assert (targets.sum(axis=1) >= 1).all()
+
+    def test_primary_labels_match_annotations(self):
+        ds = SyntheticVOC(num_classes=4, num_images=10, resolution=24, max_objects=1, seed=2)
+        labels = ds.primary_labels()
+        for label, objects in zip(labels, ds.annotations):
+            assert label == objects[0][0]
+
+
+class TestClassificationMetrics:
+    def test_top1_and_top5(self):
+        logits = np.array([[0.1, 0.9, 0.0, 0.0, 0.0, 0.0], [0.9, 0.1, 0.0, 0.0, 0.0, 0.0]])
+        labels = np.array([1, 1])
+        assert top1_accuracy(logits, labels) == 0.5
+        assert top5_accuracy(logits, labels) == 1.0
+
+    def test_topk_requires_2d(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros(3), np.zeros(3, dtype=int))
+
+    def test_fidelity(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([[0.9, 0.1], [0.6, 0.4]])
+        assert prediction_fidelity(a, b) == 0.5
+        with pytest.raises(ValueError):
+            prediction_fidelity(a, b[:1])
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_property_perfect_predictions_score_one(self, n):
+        labels = np.arange(n) % 3
+        logits = np.full((n, 3), -10.0)
+        logits[np.arange(n), labels] = 10.0
+        assert top1_accuracy(logits, labels) == 1.0
+
+
+class TestDetectionMetrics:
+    def test_average_precision_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.05])
+        targets = np.array([1, 1, 0, 0])
+        assert average_precision(scores, targets) == 1.0
+
+    def test_average_precision_no_positives(self):
+        assert average_precision(np.array([0.5]), np.array([0])) == 0.0
+
+    def test_mean_average_precision(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]])
+        targets = np.array([[1, 0], [0, 1]])
+        assert mean_average_precision(scores, targets) == 1.0
+        with pytest.raises(ValueError):
+            mean_average_precision(scores, targets[:1])
+
+    def test_iou(self):
+        assert iou((0, 0, 10, 10), (0, 0, 10, 10)) == 1.0
+        assert iou((0, 0, 10, 10), (10, 10, 20, 20)) == 0.0
+        assert iou((0, 0, 10, 10), (0, 5, 10, 15)) == pytest.approx(1 / 3)
+
+    def test_box_map_perfect_detection(self):
+        ground_truth = [[(0, (0, 0, 10, 10))], [(1, (2, 2, 8, 8))]]
+        predictions = [
+            [(0, 0.9, (0, 0, 10, 10))],
+            [(1, 0.8, (2, 2, 8, 8))],
+        ]
+        assert box_map(predictions, ground_truth, num_classes=2) == 1.0
+
+    def test_box_map_wrong_location(self):
+        ground_truth = [[(0, (0, 0, 10, 10))]]
+        predictions = [[(0, 0.9, (20, 20, 30, 30))]]
+        assert box_map(predictions, ground_truth, num_classes=1) == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the reporting utilities, scale presets and experiment runners.
+
+The runners are exercised at a miniature scale (the ``tiny_scale`` fixture) so
+that every table/figure code path runs end-to-end within the test budget; the
+paper-scale behaviour is covered by the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    PAPER,
+    QUICK,
+    ExperimentReport,
+    clear_model_cache,
+    format_table,
+    get_scale,
+    get_trained_model,
+    run_fig1b,
+    run_fig2,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.fig4_vdpc_ablation import run_fig4
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["x", 0.123]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert all(line.startswith("|") and line.endswith("|") for line in lines)
+
+    def test_report_markdown_and_rows(self):
+        report = ExperimentReport(
+            name="x", title="T", headers=["h1", "h2"], rows=[[1, 2]], notes=["note"]
+        )
+        md = report.to_markdown()
+        assert "### T" in md and "note" in md
+        assert report.row_dicts() == [{"h1": 1, "h2": 2}]
+
+
+class TestPresets:
+    def test_get_scale(self):
+        assert get_scale("quick") is QUICK
+        assert get_scale(PAPER) is PAPER
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_quick_smaller_than_paper(self):
+        assert QUICK.samples_per_class < PAPER.samples_per_class
+        assert QUICK.train_epochs < PAPER.train_epochs
+        assert QUICK.is_quick and not PAPER.is_quick
+
+    def test_registry_covers_all_paper_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "fig1b",
+            "fig2",
+            "table1",
+            "fig4",
+            "table2",
+            "fig5",
+            "table3",
+            "fig6",
+        }
+
+
+class TestTrainedModelCache:
+    def test_cache_returns_same_object(self, tiny_scale):
+        clear_model_cache()
+        a = get_trained_model("mobilenetv2", tiny_scale)
+        b = get_trained_model("mobilenetv2", tiny_scale)
+        assert a is b
+        assert a.eval_images.shape[0] <= tiny_scale.eval_images
+        assert 0.0 <= a.fp32_accuracy <= 1.0
+
+
+class TestAnalyticRunners:
+    def test_fig1b_shape_and_direction(self, tiny_scale):
+        report = run_fig1b(scale=tiny_scale, models=["mobilenetv2", "mcunet"])
+        assert len(report.rows) == 2
+        for row in report.row_dicts():
+            # Patch-based inference must not be faster than layer-based.
+            assert row["Patch-based (ms)"] >= row["Layer-based (ms)"]
+            assert row["Patch peak (KB)"] <= row["Layer peak (KB)"]
+
+    def test_fig2_outlier_fraction_sensible(self, tiny_scale):
+        report = run_fig2(scale=tiny_scale)
+        values = dict(report.rows)
+        assert 0.0 <= values["outlier value fraction"] <= 0.3
+        assert values["non-outlier band low"] < values["non-outlier band high"]
+        assert "histogram" in report.extras
+
+    def test_table1_rows_and_quantmcu_wins_bitops(self, tiny_scale):
+        from repro.hardware import ARDUINO_NANO_33_BLE
+
+        report = run_table1(scale=tiny_scale, devices=[ARDUINO_NANO_33_BLE], tasks=["imagenet"])
+        methods = {row["Method"]: row for row in report.row_dicts()}
+        assert set(methods) == {
+            "Layer-Based",
+            "MCUNetV2",
+            "Cipolletta et al.",
+            "RNNPool",
+            "QuantMCU",
+        }
+        assert methods["QuantMCU"]["BitOPs (M)"] <= methods["MCUNetV2"]["BitOPs (M)"]
+        assert methods["QuantMCU"]["Peak Memory (KB)"] <= methods["Layer-Based"]["Peak Memory (KB)"]
+
+
+class TestTrainingRunners:
+    def test_table2_contains_all_methods(self, tiny_scale):
+        report = run_table2(scale=tiny_scale)
+        names = [row["Method"] for row in report.row_dicts()]
+        assert names == ["Baseline", "PACT", "Rusci et al.", "HAQ", "HAWQ-V3", "QuantMCU"]
+        quantmcu = report.row_dicts()[-1]
+        baseline = report.row_dicts()[0]
+        assert quantmcu["BitOPs (M)"] <= baseline["BitOPs (M)"]
+
+    def test_table3_bitops_monotone_in_lambda(self, tiny_scale):
+        report = run_table3(scale=tiny_scale, lambda_values=(0.2, 0.5, 0.8))
+        bitops = [row["BitOPs (M)"] for row in report.row_dicts()]
+        assert bitops == sorted(bitops)
+
+    def test_fig5_rows(self, tiny_scale):
+        report = run_fig5(scale=tiny_scale, phi_values=(0.9, 0.999))
+        assert len(report.rows) == 2
+        for row in report.row_dicts():
+            assert 0.0 <= row["Top-1 (%)"] <= 100.0
+            assert row["Top-5 (%)"] >= row["Top-1 (%)"]
+
+    def test_fig6_bitwidths_valid(self, tiny_scale):
+        report = run_fig6(scale=tiny_scale, models=["mobilenetv2"])
+        bit_rows = [row for row in report.row_dicts() if str(row["Feature map"]).startswith("B")]
+        assert bit_rows
+        assert all(row["Bitwidth"] in (2, 4, 8) for row in bit_rows)
+        assert "mobilenetv2" in report.extras["charts"]
+
+    def test_fig4_structure(self, tiny_scale):
+        report = run_fig4(scale=tiny_scale, models=["mobilenetv2"], tasks=("classification",))
+        assert len(report.rows) == 1
+        row = report.row_dicts()[0]
+        assert row["Model"] == "mobilenetv2"
+        # The full method must not be less faithful to FP32 than the ablation.
+        assert row["QuantMCU fidelity (%)"] >= row["w/o VDPC fidelity (%)"] - 1e-6
+
+
+class TestCLI:
+    def test_main_runs_single_experiment(self, tiny_scale, capsys, monkeypatch):
+        from repro.experiments.__main__ import main
+
+        # Patch the registry so the CLI runs the cheapest experiment only.
+        monkeypatch.setitem(EXPERIMENTS, "fig2", lambda scale: run_fig2(scale=tiny_scale))
+        assert main(["fig2", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out

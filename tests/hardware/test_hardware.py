@@ -1,0 +1,146 @@
+"""Tests for the MCU device model, the latency model and the SRAM allocator."""
+
+import pytest
+
+from repro.hardware import (
+    ARDUINO_NANO_33_BLE,
+    STM32H743,
+    AllocationError,
+    BufferLifetime,
+    SRAMAllocator,
+    check_schedule_fits,
+    estimate_layer_based_latency,
+    estimate_patch_based_latency,
+    get_device,
+)
+from repro.patch import build_patch_plan, candidate_split_nodes
+from repro.quant import FeatureMapIndex, QuantizationConfig
+
+
+class TestDevices:
+    def test_registry_lookup(self):
+        assert get_device("stm32h743") is STM32H743
+        with pytest.raises(KeyError):
+            get_device("esp32")
+
+    def test_paper_budgets(self):
+        assert ARDUINO_NANO_33_BLE.sram_bytes == 256 * 1024
+        assert STM32H743.sram_bytes == 512 * 1024
+        assert STM32H743.clock_hz > ARDUINO_NANO_33_BLE.clock_hz
+
+    def test_mac_cycles_monotone_in_precision(self):
+        for device in (ARDUINO_NANO_33_BLE, STM32H743):
+            assert device.mac_cycles(8, 8) > device.mac_cycles(4, 4) > device.mac_cycles(2, 2)
+
+    def test_mac_cycles_uses_wider_operand(self):
+        assert STM32H743.mac_cycles(8, 2) == STM32H743.mac_cycles(8, 8)
+
+
+class TestLatencyModel:
+    @pytest.fixture()
+    def plan(self, tiny_mobilenet):
+        fm_index = FeatureMapIndex(tiny_mobilenet)
+        split = candidate_split_nodes(tiny_mobilenet, fm_index)[2]
+        return build_patch_plan(tiny_mobilenet, split, 2, fm_index)
+
+    def test_layer_latency_positive_and_faster_on_m7(self, tiny_mobilenet):
+        fm_index = FeatureMapIndex(tiny_mobilenet)
+        config = QuantizationConfig.uniform(8)
+        slow = estimate_layer_based_latency(fm_index, config, ARDUINO_NANO_33_BLE)
+        fast = estimate_layer_based_latency(fm_index, config, STM32H743)
+        assert slow.total_seconds > fast.total_seconds > 0
+
+    def test_lower_precision_is_faster(self, tiny_mobilenet):
+        fm_index = FeatureMapIndex(tiny_mobilenet)
+        lat8 = estimate_layer_based_latency(fm_index, QuantizationConfig.uniform(8), STM32H743)
+        lat2 = estimate_layer_based_latency(fm_index, QuantizationConfig.uniform(2), STM32H743)
+        assert lat2.total_seconds < lat8.total_seconds
+
+    def test_patch_based_slower_at_same_precision(self, tiny_mobilenet, plan):
+        fm_index = FeatureMapIndex(tiny_mobilenet)
+        config = QuantizationConfig.uniform(8)
+        layer = estimate_layer_based_latency(fm_index, config, STM32H743)
+        patch = estimate_patch_based_latency(plan, STM32H743, config)
+        assert patch.total_seconds > layer.total_seconds
+
+    def test_per_branch_configs_reduce_latency(self, plan):
+        config8 = QuantizationConfig.uniform(8)
+        quantized = [QuantizationConfig.uniform(2) for _ in plan.branches]
+        base = estimate_patch_based_latency(plan, STM32H743, config8)
+        mixed = estimate_patch_based_latency(plan, STM32H743, config8, branch_configs=quantized)
+        assert mixed.total_seconds < base.total_seconds
+
+    def test_breakdown_sums(self, tiny_mobilenet):
+        fm_index = FeatureMapIndex(tiny_mobilenet)
+        breakdown = estimate_layer_based_latency(
+            fm_index, QuantizationConfig.uniform(8), ARDUINO_NANO_33_BLE
+        )
+        total = (
+            breakdown.compute_seconds
+            + breakdown.sram_seconds
+            + breakdown.flash_seconds
+            + breakdown.overhead_seconds
+        )
+        assert breakdown.total_seconds == pytest.approx(total)
+        assert breakdown.total_ms == pytest.approx(total * 1e3)
+
+
+class TestSRAMAllocator:
+    def test_allocate_and_free(self):
+        alloc = SRAMAllocator(1024)
+        offset_a = alloc.allocate("a", 256)
+        offset_b = alloc.allocate("b", 256)
+        assert offset_a != offset_b
+        assert alloc.used_bytes() == 512
+        alloc.free("a")
+        assert alloc.used_bytes() == 256
+
+    def test_reuses_freed_space(self):
+        alloc = SRAMAllocator(512)
+        alloc.allocate("a", 256)
+        alloc.allocate("b", 256)
+        alloc.free("a")
+        # Third buffer fits only by reusing a's slot.
+        offset = alloc.allocate("c", 200)
+        assert offset == 0
+
+    def test_overflow_raises(self):
+        alloc = SRAMAllocator(100)
+        alloc.allocate("a", 80)
+        with pytest.raises(AllocationError):
+            alloc.allocate("b", 40)
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SRAMAllocator(100).free("ghost")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SRAMAllocator(0)
+        with pytest.raises(ValueError):
+            SRAMAllocator(10).allocate("a", 0)
+
+    def test_high_water_mark(self):
+        alloc = SRAMAllocator(1000)
+        alloc.allocate("a", 100)
+        alloc.allocate("b", 300)
+        assert alloc.high_water_mark() == 400
+
+
+class TestScheduleCheck:
+    def test_fits(self):
+        buffers = [
+            BufferLifetime("a", 100, 0, 1),
+            BufferLifetime("b", 100, 1, 2),
+            BufferLifetime("c", 100, 2, 3),
+        ]
+        fits, peak = check_schedule_fits(buffers, 250)
+        assert fits and peak == 200
+
+    def test_does_not_fit(self):
+        buffers = [BufferLifetime("a", 300, 0, 2), BufferLifetime("b", 300, 1, 3)]
+        fits, peak = check_schedule_fits(buffers, 500)
+        assert not fits and peak == 600
+
+    def test_empty(self):
+        assert check_schedule_fits([], 10) == (True, 0)

@@ -1,0 +1,116 @@
+"""Tests for the model zoo builders and registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_REGISTRY,
+    available_models,
+    build_model,
+    build_mobilenet_v2,
+    build_ssdlite_mobilenet_v2,
+    decode_predictions,
+    make_divisible,
+    scale_channels,
+)
+from repro.quant import FeatureMapIndex
+
+CLASSIFICATION_MODELS = [
+    "mobilenetv2",
+    "mnasnet",
+    "fbnet_a",
+    "ofa_cpu",
+    "mcunet",
+    "resnet18",
+    "squeezenet",
+    "inception",
+    "vgg16",
+]
+
+
+class TestHelpers:
+    def test_make_divisible_multiples(self):
+        assert make_divisible(32, 8) == 32
+        assert make_divisible(33, 8) == 32
+        assert make_divisible(37, 8) == 40
+
+    def test_make_divisible_lower_bound(self):
+        # Never drops below 90% of the requested value.
+        for value in (10, 23, 67, 129):
+            assert make_divisible(value) >= 0.9 * value
+
+    def test_scale_channels(self):
+        assert scale_channels(64, 0.5) == 32
+        assert scale_channels(64, 1.0) == 64
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(CLASSIFICATION_MODELS) <= set(available_models())
+        assert "ssdlite_mobilenetv2" in available_models()
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("nonexistent")
+
+    def test_registry_entries_have_descriptions(self):
+        for entry in MODEL_REGISTRY.values():
+            assert entry.description
+            assert entry.default_resolution > 0
+
+
+@pytest.mark.parametrize("model_name", CLASSIFICATION_MODELS)
+class TestClassificationModels:
+    def test_builds_and_runs(self, model_name, rng):
+        graph = build_model(model_name, resolution=32, num_classes=5, width_mult=0.35)
+        out = graph.forward(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+        assert out.shape == (2, 5)
+
+    def test_macs_and_params_positive(self, model_name):
+        graph = build_model(model_name, resolution=32, num_classes=5, width_mult=0.35)
+        assert graph.total_macs() > 0
+        assert graph.param_count() > 0
+
+    def test_has_quantizable_feature_maps(self, model_name):
+        graph = build_model(model_name, resolution=32, num_classes=5, width_mult=0.35)
+        assert len(FeatureMapIndex(graph)) >= 5
+
+    def test_deterministic_given_seed(self, model_name, rng):
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        a = build_model(model_name, resolution=32, num_classes=5, width_mult=0.35, seed=11)
+        b = build_model(model_name, resolution=32, num_classes=5, width_mult=0.35, seed=11)
+        assert np.allclose(a.forward(x), b.forward(x))
+
+
+class TestMobileNetV2Reference:
+    def test_full_size_macs_match_published(self):
+        """The full MobileNetV2 is ~300 MMACs / 3.5 M parameters at 224x224."""
+        graph = build_mobilenet_v2(input_shape=(3, 224, 224), num_classes=1000, width_mult=1.0)
+        assert 280e6 < graph.total_macs() < 320e6
+        assert 3.2e6 < graph.param_count() < 3.8e6
+
+    def test_width_multiplier_reduces_cost(self):
+        full = build_mobilenet_v2(input_shape=(3, 96, 96), width_mult=1.0)
+        slim = build_mobilenet_v2(input_shape=(3, 96, 96), width_mult=0.35)
+        assert slim.total_macs() < full.total_macs() * 0.4
+
+
+class TestDetectionModel:
+    def test_head_output_shape(self, rng):
+        graph = build_ssdlite_mobilenet_v2(
+            input_shape=(3, 32, 32), num_classes=5, width_mult=0.35
+        )
+        out = graph.forward(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+        anchors = 3
+        assert out.shape[1] == anchors * (5 + 4)
+
+    def test_decode_predictions(self, rng):
+        num_classes, anchors = 5, 3
+        raw = rng.standard_normal((2, anchors * (num_classes + 4), 2, 2)).astype(np.float32)
+        scores, boxes = decode_predictions(raw, num_classes, anchors)
+        assert scores.shape == (2, 2 * 2 * anchors, num_classes)
+        assert boxes.shape == (2, 2 * 2 * anchors, 4)
+
+    def test_decode_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            decode_predictions(rng.standard_normal((1, 10, 2, 2)), num_classes=5)

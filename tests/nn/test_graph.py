@@ -1,0 +1,161 @@
+"""Tests for the Graph container: structure, shapes, MACs, execution, training hooks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Add, Conv2d, Graph, GlobalAvgPool, Linear, ReLU, Sequential
+
+
+class TestGraphConstruction:
+    def test_add_sequential_default_inputs(self, tiny_graph):
+        order = tiny_graph.topological_order()
+        assert order[0] == "conv1"
+        assert tiny_graph.nodes["bn1"].inputs == ["conv1"]
+
+    def test_duplicate_name_rejected(self):
+        g = Graph((3, 8, 8))
+        g.add(Conv2d(3, 4, 3, padding=1), name="c")
+        with pytest.raises(ValueError):
+            g.add(ReLU(), name="c")
+
+    def test_unknown_input_rejected(self):
+        g = Graph((3, 8, 8))
+        with pytest.raises(ValueError):
+            g.add(ReLU(), inputs="missing")
+
+    def test_bad_input_shape(self):
+        with pytest.raises(ValueError):
+            Graph((3, 8))
+
+    def test_sequential_helper(self, rng):
+        model = Sequential((3, 8, 8), [Conv2d(3, 4, 3, padding=1), ReLU(), GlobalAvgPool(), Linear(4, 2)])
+        out = model.forward(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 2)
+
+
+class TestGraphAnalysis:
+    def test_shapes(self, tiny_graph):
+        shapes = tiny_graph.shapes()
+        assert shapes["conv1"] == (8, 16, 16)
+        assert shapes["pool1"] == (8, 8, 8)
+        assert shapes["conv2"] == (16, 4, 4)
+        assert shapes["fc"] == (4,)
+
+    def test_macs_positive_for_convs_only(self, tiny_graph):
+        macs = tiny_graph.macs()
+        assert macs["conv1"] == 8 * 16 * 16 * 3 * 9
+        assert macs["relu1"] == 0
+        assert tiny_graph.total_macs() == sum(macs.values())
+
+    def test_param_count(self, tiny_graph):
+        assert tiny_graph.param_count() == sum(
+            layer.param_count() for _, layer in tiny_graph.layers()
+        )
+
+    def test_feature_map_nodes_spatial_only(self, tiny_graph):
+        fms = tiny_graph.feature_map_nodes()
+        assert "conv1" in fms and "pool1" in fms
+        assert "fc" not in fms and "gap" not in fms
+
+    def test_consumers(self, residual_graph):
+        consumers = residual_graph.consumers()
+        assert set(consumers["stem_act"]) == {"dw", "add"}
+
+    def test_output_shape(self, tiny_graph):
+        assert tiny_graph.output_shape() == (4,)
+
+    def test_empty_graph_errors(self):
+        g = Graph((3, 8, 8))
+        with pytest.raises(ValueError):
+            g.output_shape()
+        with pytest.raises(ValueError):
+            g.forward(np.zeros((1, 3, 8, 8)))
+
+
+class TestGraphExecution:
+    def test_forward_shape(self, tiny_graph, rng):
+        out = tiny_graph.forward(rng.standard_normal((3, 3, 16, 16)).astype(np.float32))
+        assert out.shape == (3, 4)
+
+    def test_record_activations(self, tiny_graph, rng):
+        out, values = tiny_graph.forward(
+            rng.standard_normal((1, 3, 16, 16)).astype(np.float32), record_activations=True
+        )
+        assert set(values) == {"input", *tiny_graph.topological_order()}
+        assert np.allclose(values["fc"], out)
+
+    def test_residual_forward_matches_manual(self, residual_graph, rng):
+        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        out, values = residual_graph.forward(x, record_activations=True)
+        assert np.allclose(values["add"], values["stem_act"] + values["project_bn"])
+
+    def test_backward_accumulates_residual_grads(self, residual_graph, rng):
+        residual_graph.train(True)
+        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        out = residual_graph.forward(x)
+        grad_in = residual_graph.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_backward_before_forward_raises(self, tiny_graph):
+        fresh = Graph((3, 8, 8))
+        fresh.add(Conv2d(3, 4, 3, padding=1))
+        with pytest.raises(RuntimeError):
+            fresh.backward(np.zeros((1, 4, 8, 8)))
+
+    def test_numeric_gradient_through_graph(self, rng):
+        g = Graph((2, 6, 6))
+        g.add(Conv2d(2, 3, 3, padding=1), name="c1")
+        g.add(ReLU(), name="r1")
+        g.add(GlobalAvgPool(), name="gap")
+        g.add(Linear(3, 2), name="fc")
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float64)
+        out = g.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_in = g.backward(grad_out)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 1, 3, 4)]:
+            perturbed = x.copy()
+            perturbed[idx] += eps
+            numeric = ((g.forward(perturbed) * grad_out).sum() - (g.forward(x) * grad_out).sum()) / eps
+            assert np.isclose(numeric, grad_in[idx], rtol=1e-2, atol=1e-4)
+
+
+class TestStateDict:
+    def test_roundtrip(self, tiny_graph, rng):
+        x = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
+        before = tiny_graph.forward(x)
+        state = tiny_graph.state_dict()
+        for _, layer in tiny_graph.layers():
+            for key in layer.params:
+                layer.params[key] = layer.params[key] + 1.0
+        tiny_graph.load_state_dict(state)
+        assert np.allclose(tiny_graph.forward(x), before)
+
+    def test_missing_key_raises(self, tiny_graph):
+        state = tiny_graph.state_dict()
+        state.pop("fc.weight")
+        with pytest.raises(KeyError):
+            tiny_graph.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, tiny_graph):
+        state = tiny_graph.state_dict()
+        state["fc.weight"] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            tiny_graph.load_state_dict(state)
+
+
+class TestTrainEvalMode:
+    def test_train_flag_propagates(self, tiny_graph):
+        tiny_graph.train(True)
+        assert all(layer.training for _, layer in tiny_graph.layers())
+        tiny_graph.eval()
+        assert not any(layer.training for _, layer in tiny_graph.layers())
+
+    def test_zero_grad_clears_all(self, tiny_graph, rng):
+        tiny_graph.train(True)
+        out = tiny_graph.forward(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        tiny_graph.backward(np.ones_like(out))
+        tiny_graph.zero_grad()
+        for _, layer in tiny_graph.layers():
+            for grad in layer.grads.values():
+                assert np.allclose(grad, 0.0)

@@ -1,0 +1,259 @@
+"""Unit tests for the layer classes: shapes, MACs, gradients, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Pad2d,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+    Softmax,
+)
+
+
+class TestConv2dLayer:
+    def test_output_shape_and_macs(self):
+        layer = Conv2d(3, 16, 3, stride=2, padding=1)
+        assert layer.output_shape((3, 32, 32)) == (16, 16, 16)
+        assert layer.macs((3, 32, 32)) == 16 * 16 * 16 * 3 * 9
+
+    def test_wrong_channels_raises(self):
+        layer = Conv2d(3, 16, 3)
+        with pytest.raises(ValueError):
+            layer.output_shape((4, 32, 32))
+
+    def test_param_count(self):
+        layer = Conv2d(3, 8, 3, bias=True)
+        assert layer.param_count() == 8 * 3 * 9 + 8
+        layer_nobias = Conv2d(3, 8, 3, bias=False)
+        assert layer_nobias.param_count() == 8 * 3 * 9
+
+    def test_spatial_params(self):
+        assert Conv2d(3, 8, 5, stride=2, padding=2).spatial_params() == (5, 2, 2)
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 8, 3)
+
+    def test_forward_backward_roundtrip(self, rng):
+        layer = Conv2d(3, 4, 3, stride=1, padding=1)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        out = layer.forward(x)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert layer.grads["weight"].shape == layer.params["weight"].shape
+
+
+class TestDepthwiseLayer:
+    def test_shape_macs(self):
+        layer = DepthwiseConv2d(8, 3, stride=1, padding=1)
+        assert layer.output_shape((8, 16, 16)) == (8, 16, 16)
+        assert layer.macs((8, 16, 16)) == 8 * 16 * 16 * 9
+
+    def test_forward_shape(self, rng):
+        layer = DepthwiseConv2d(4, 3, stride=2, padding=1)
+        out = layer.forward(rng.standard_normal((1, 4, 8, 8)))
+        assert out.shape == (1, 4, 4, 4)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(10, 5)
+        out = layer.forward(rng.standard_normal((3, 10)))
+        assert out.shape == (3, 5)
+        assert layer.output_shape((10,)) == (5,)
+        assert layer.macs((10,)) == 50
+
+    def test_feature_mismatch(self):
+        with pytest.raises(ValueError):
+            Linear(10, 5).output_shape((11,))
+
+    def test_gradient_matches_analytic(self, rng):
+        layer = Linear(4, 3)
+        x = rng.standard_normal((2, 4))
+        out = layer.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_in = layer.backward(grad_out)
+        assert np.allclose(grad_in, grad_out @ layer.params["weight"])
+        assert np.allclose(layer.grads["weight"], grad_out.T @ x)
+
+
+class TestBatchNorm:
+    def test_train_normalizes(self, rng):
+        layer = BatchNorm2d(4)
+        layer.train(True)
+        x = rng.standard_normal((8, 4, 6, 6)) * 3 + 2
+        out = layer.forward(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm2d(4)
+        layer.train(True)
+        x = rng.standard_normal((8, 4, 6, 6))
+        for _ in range(20):
+            layer.forward(x)
+        layer.train(False)
+        out = layer.forward(x)
+        assert out.shape == x.shape
+
+    def test_fuse_scale_bias(self, rng):
+        layer = BatchNorm2d(3)
+        layer.running_mean = rng.standard_normal(3).astype(np.float32)
+        layer.running_var = np.abs(rng.standard_normal(3)).astype(np.float32) + 0.5
+        layer.params["gamma"] = rng.standard_normal(3).astype(np.float32)
+        layer.params["beta"] = rng.standard_normal(3).astype(np.float32)
+        layer.train(False)
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        scale, bias = layer.fuse_scale_bias()
+        fused = x * scale[None, :, None, None] + bias[None, :, None, None]
+        assert np.allclose(fused, layer.forward(x), atol=1e-5)
+
+    def test_not_a_feature_map(self):
+        assert BatchNorm2d(4).produces_feature_map is False
+
+
+class TestActivationLayers:
+    @pytest.mark.parametrize("layer_cls", [ReLU, ReLU6, LeakyReLU, Sigmoid])
+    def test_shape_preserved(self, layer_cls, rng):
+        layer = layer_cls()
+        x = rng.standard_normal((2, 3, 4, 4))
+        assert layer.forward(x).shape == x.shape
+        assert layer.output_shape((3, 4, 4)) == (3, 4, 4)
+
+    def test_relu6_gradient_mask(self):
+        layer = ReLU6()
+        x = np.array([[-1.0, 3.0, 7.0]])
+        layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.allclose(grad, [[0.0, 1.0, 0.0]])
+
+    def test_leaky_relu_negative_slope(self):
+        layer = LeakyReLU(0.1)
+        x = np.array([-2.0, 2.0])
+        assert np.allclose(layer.forward(x), [-0.2, 2.0])
+        assert np.allclose(layer.backward(np.ones(2)), [0.1, 1.0])
+
+
+class TestPoolingLayers:
+    def test_maxpool_shape(self, rng):
+        layer = MaxPool2d(2)
+        assert layer.output_shape((8, 16, 16)) == (8, 8, 8)
+        out = layer.forward(rng.standard_normal((1, 8, 16, 16)))
+        assert out.shape == (1, 8, 8, 8)
+
+    def test_maxpool_custom_stride(self):
+        layer = MaxPool2d(3, stride=2, padding=1)
+        assert layer.output_shape((4, 16, 16)) == (4, 8, 8)
+        assert layer.spatial_params() == (3, 2, 1)
+
+    def test_avgpool_backward_shape(self, rng):
+        layer = AvgPool2d(2)
+        x = rng.standard_normal((2, 3, 8, 8))
+        out = layer.forward(x)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    def test_global_avgpool(self, rng):
+        layer = GlobalAvgPool()
+        x = rng.standard_normal((2, 5, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 5)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+        assert layer.output_shape((5, 4, 4)) == (5,)
+
+
+class TestStructuralLayers:
+    def test_add_shapes_must_match(self, rng):
+        layer = Add()
+        a = rng.standard_normal((1, 2, 4, 4))
+        with pytest.raises(ValueError):
+            layer.forward(a, rng.standard_normal((1, 3, 4, 4)))
+        out = layer.forward(a, a)
+        assert np.allclose(out, 2 * a)
+        ga, gb = layer.backward(np.ones_like(out))
+        assert np.allclose(ga, 1.0) and np.allclose(gb, 1.0)
+
+    def test_concat_channels(self, rng):
+        layer = Concat()
+        a = rng.standard_normal((1, 2, 4, 4))
+        b = rng.standard_normal((1, 3, 4, 4))
+        out = layer.forward(a, b)
+        assert out.shape == (1, 5, 4, 4)
+        assert layer.output_shape((2, 4, 4), (3, 4, 4)) == (5, 4, 4)
+        ga, gb = layer.backward(np.ones_like(out))
+        assert ga.shape == a.shape and gb.shape == b.shape
+
+    def test_concat_spatial_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Concat().output_shape((2, 4, 4), (3, 5, 5))
+
+    def test_flatten(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape
+        assert layer.output_shape((3, 4, 4)) == (48,)
+
+    def test_identity_and_pad(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        assert np.allclose(Identity().forward(x), x)
+        pad = Pad2d(2)
+        out = pad.forward(x)
+        assert out.shape == (1, 2, 8, 8)
+        assert pad.output_shape((2, 4, 4)) == (2, 8, 8)
+        assert pad.backward(out).shape == x.shape
+
+    def test_dropout_eval_is_identity(self, rng):
+        layer = Dropout(0.5)
+        x = rng.standard_normal((4, 10))
+        layer.train(False)
+        assert np.allclose(layer.forward(x), x)
+
+    def test_dropout_train_scales(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        layer.train(True)
+        x = np.ones((1000,))
+        out = layer.forward(x)
+        assert np.isclose(out.mean(), 1.0, atol=0.15)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_softmax_layer(self, rng):
+        layer = Softmax()
+        out = layer.forward(rng.standard_normal((3, 5)))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+        grad = layer.backward(np.ones_like(out))
+        assert np.allclose(grad, 0.0, atol=1e-7)
+
+
+class TestLayerBasics:
+    def test_zero_grad(self):
+        layer = Conv2d(2, 3, 3)
+        layer.grads["weight"] += 1.0
+        layer.zero_grad()
+        assert np.allclose(layer.grads["weight"], 0.0)
+
+    def test_default_spatial_params(self):
+        assert ReLU().spatial_params() == (1, 1, 0)
+
+    def test_callable(self, rng):
+        layer = ReLU()
+        x = rng.standard_normal((2, 2))
+        assert np.allclose(layer(x), layer.forward(x))

@@ -1,0 +1,121 @@
+"""Tests for losses, optimizers and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool,
+    Graph,
+    Linear,
+    ReLU,
+    SGD,
+    evaluate_top1,
+    fit,
+    recalibrate_batchnorm,
+    softmax_cross_entropy,
+)
+
+
+def _linear_model(in_features=4, classes=3):
+    g = Graph((in_features, 1, 1), name="linear")
+    g.add(GlobalAvgPool(), name="gap")
+    g.add(Linear(in_features, classes), name="fc")
+    return g
+
+
+class TestLoss:
+    def test_uniform_logits_loss(self):
+        logits = np.zeros((5, 4))
+        labels = np.array([0, 1, 2, 3, 0])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert np.isclose(loss, np.log(4))
+        assert grad.shape == logits.shape
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-8)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((3, 3), -50.0)
+        labels = np.array([0, 1, 2])
+        logits[np.arange(3), labels] = 50.0
+        loss, _ = softmax_cross_entropy(logits, labels)
+        assert loss < 1e-6
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.standard_normal((4, 5))
+        labels = np.array([0, 2, 4, 1])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        perturbed = logits.copy()
+        perturbed[1, 2] += eps
+        loss2, _ = softmax_cross_entropy(perturbed, labels)
+        assert np.isclose((loss2 - loss) / eps, grad[1, 2], rtol=1e-4, atol=1e-6)
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [(SGD, {"lr": 0.5}), (Adam, {"lr": 0.05})])
+    def test_optimizer_reduces_loss(self, optimizer_cls, kwargs, rng):
+        g = _linear_model()
+        opt = optimizer_cls(g, **kwargs)
+        x = rng.standard_normal((64, 4, 1, 1)).astype(np.float32)
+        labels = (x[:, 0, 0, 0] > 0).astype(np.int64)
+        losses = []
+        for _ in range(30):
+            opt.zero_grad()
+            logits = g.forward(x)
+            loss, grad = softmax_cross_entropy(logits, labels)
+            g.backward(grad)
+            opt.step()
+            losses.append(loss)
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        g = _linear_model()
+        opt = SGD(g, lr=0.1, momentum=0.0, weight_decay=0.5)
+        norm_before = np.linalg.norm(g.nodes["fc"].layer.params["weight"])
+        g.zero_grad()
+        opt.step()
+        norm_after = np.linalg.norm(g.nodes["fc"].layer.params["weight"])
+        assert norm_after < norm_before
+
+
+class TestFit:
+    def test_fit_learns_separable_task(self, rng):
+        g = Graph((2, 4, 4), name="sep")
+        g.add(Conv2d(2, 4, 3, padding=1), name="c")
+        g.add(ReLU(), name="r")
+        g.add(GlobalAvgPool(), name="gap")
+        g.add(Linear(4, 2), name="fc")
+        x = rng.standard_normal((80, 2, 4, 4)).astype(np.float32)
+        y = (x[:, 0].mean(axis=(1, 2)) > 0).astype(np.int64)
+        history = fit(g, x, y, epochs=10, batch_size=16, optimizer=Adam(g, lr=5e-3))
+        assert history.final_accuracy > 0.8
+        assert evaluate_top1(g, x, y) > 0.8
+
+    def test_history_lengths(self, rng):
+        g = _linear_model()
+        x = rng.standard_normal((16, 4, 1, 1)).astype(np.float32)
+        y = np.zeros(16, dtype=np.int64)
+        history = fit(g, x, y, epochs=3, batch_size=8)
+        assert len(history.losses) == 3
+        assert len(history.accuracies) == 3
+
+
+class TestBatchNormRecalibration:
+    def test_recalibration_sets_statistics(self, rng):
+        g = Graph((3, 8, 8), name="bn")
+        g.add(Conv2d(3, 4, 3, padding=1), name="c")
+        g.add(BatchNorm2d(4), name="bn")
+        g.add(ReLU(), name="r")
+        g.add(GlobalAvgPool(), name="gap")
+        g.add(Linear(4, 2), name="fc")
+        images = (rng.standard_normal((64, 3, 8, 8)) * 5 + 1).astype(np.float32)
+        recalibrate_batchnorm(g, images, batch_size=16)
+        bn = g.nodes["bn"].layer
+        assert not np.allclose(bn.running_mean, 0.0)
+        assert not g.nodes["bn"].layer.training
+
+    def test_no_batchnorm_is_noop(self, rng):
+        g = _linear_model()
+        recalibrate_batchnorm(g, rng.standard_normal((8, 4, 1, 1)).astype(np.float32))

@@ -1,0 +1,176 @@
+"""Tests for the BitOPs model, the memory model and the fake-quantized executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    FeatureMapIndex,
+    QuantizationConfig,
+    QuantizedExecutor,
+    baseline_bitops,
+    bitops_reduction,
+    collect_activations,
+    feature_map_bitops,
+    feature_map_bytes,
+    input_bytes,
+    model_bitops,
+    model_storage_bytes,
+    peak_activation_bytes,
+    tensor_bytes,
+    weight_bytes,
+)
+
+
+class TestQuantizationConfig:
+    def test_defaults(self):
+        config = QuantizationConfig()
+        assert config.act_bits(0) == 8
+        assert config.w_bits("anything") == 8
+
+    def test_uniform(self):
+        config = QuantizationConfig.uniform(4)
+        assert config.act_bits(3) == 4
+        assert config.w_bits("x") == 4
+
+    def test_from_list_and_as_list(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        config = QuantizationConfig.from_bitwidth_list([2, 4, 8])
+        assert config.as_list(index) == [2, 4, 8]
+        assert config.mean_activation_bits(index) == pytest.approx(14 / 3)
+
+    def test_set_act_bits_validation(self):
+        config = QuantizationConfig()
+        with pytest.raises(ValueError):
+            config.set_act_bits(0, 5)
+        config.set_act_bits(0, 2)
+        assert config.act_bits(0) == 2
+
+    def test_copy_is_independent(self):
+        config = QuantizationConfig()
+        clone = config.copy()
+        clone.set_act_bits(0, 2)
+        assert config.act_bits(0) == 8
+
+
+class TestBitOps:
+    def test_8bit_baseline_is_64x_macs(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        total_fm_macs = index.total_macs()
+        assert baseline_bitops(index, 8) == total_fm_macs * 64
+
+    def test_quantizing_activations_reduces_consumer_cost(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        base = model_bitops(index, QuantizationConfig.uniform(8))
+        # Feature map 1 (the pooling output) feeds conv2, so quantizing it
+        # reduces conv2's BitOPs.
+        config = QuantizationConfig(activation_bits={1: 2})
+        assert model_bitops(index, config) < base
+
+    def test_reduction_matches_model_difference(self, tiny_mobilenet):
+        index = FeatureMapIndex(tiny_mobilenet)
+        config = QuantizationConfig.uniform(8)
+        for fm in (0, 3, len(index) - 1):
+            reduction = bitops_reduction(index, fm, 4, config)
+            modified = config.copy()
+            modified.activation_bits[fm] = 4
+            assert model_bitops(index, config) - model_bitops(index, modified) == reduction
+
+    def test_reduction_zero_when_increasing_bits(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        assert bitops_reduction(index, 0, 8, QuantizationConfig.uniform(8)) == 0
+
+    def test_feature_map_bitops_positive_for_convs(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        config = QuantizationConfig.uniform(8)
+        assert feature_map_bitops(index, 0, config) > 0
+
+    @given(st.sampled_from([2, 4, 8]), st.sampled_from([2, 4, 8]))
+    @settings(max_examples=9, deadline=None)
+    def test_bitops_monotone_in_bits(self, a_bits, w_bits):
+        from repro.models import build_model
+
+        graph = build_model("mobilenetv2", resolution=32, num_classes=4, width_mult=0.35)
+        index = FeatureMapIndex(graph)
+        low = model_bitops(index, QuantizationConfig.uniform(min(a_bits, w_bits)))
+        high = model_bitops(index, QuantizationConfig.uniform(max(a_bits, w_bits)))
+        assert low <= high
+
+
+class TestMemory:
+    def test_tensor_bytes_rounding(self):
+        assert tensor_bytes(10, 8) == 10
+        assert tensor_bytes(10, 4) == 5
+        assert tensor_bytes(10, 2) == 3  # ceil(20/8)
+
+    def test_feature_map_bytes(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        config = QuantizationConfig.uniform(8)
+        fm = index[0]
+        assert feature_map_bytes(index, 0, config) == fm.num_elements
+
+    def test_peak_decreases_with_bits(self, tiny_mobilenet):
+        index = FeatureMapIndex(tiny_mobilenet)
+        assert peak_activation_bytes(index, QuantizationConfig.uniform(2)) < peak_activation_bytes(
+            index, QuantizationConfig.uniform(8)
+        )
+
+    def test_weight_bytes_scale_with_bits(self, tiny_mobilenet):
+        index = FeatureMapIndex(tiny_mobilenet)
+        w8 = weight_bytes(index, QuantizationConfig.uniform(8))
+        w4 = weight_bytes(index, QuantizationConfig.uniform(4))
+        assert w4 <= w8 and w4 >= w8 // 2 - len(index)
+
+    def test_storage_is_sum(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        config = QuantizationConfig.uniform(8)
+        assert model_storage_bytes(index, config) == weight_bytes(index, config) + peak_activation_bytes(index, config)
+
+    def test_input_bytes(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        assert input_bytes(index, QuantizationConfig.uniform(8)) == 3 * 16 * 16
+
+
+class TestQuantizedExecutor:
+    def test_8bit_high_fidelity(self, tiny_mobilenet, rng):
+        x = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+        reference = tiny_mobilenet.forward(x)
+        executor = QuantizedExecutor(tiny_mobilenet, QuantizationConfig.uniform(8))
+        executor.calibrate(x)
+        out = executor.forward(x)
+        assert (out.argmax(1) == reference.argmax(1)).mean() >= 0.75
+        assert np.abs(out - reference).mean() < np.abs(reference).mean()
+
+    def test_lower_bits_larger_error(self, tiny_mobilenet, rng):
+        x = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+        reference = tiny_mobilenet.forward(x)
+        errors = {}
+        for bits in (8, 2):
+            executor = QuantizedExecutor(tiny_mobilenet, QuantizationConfig.uniform(bits))
+            executor.calibrate(x)
+            errors[bits] = float(np.abs(executor.forward(x) - reference).mean())
+        assert errors[2] > errors[8]
+
+    def test_weights_restored_after_forward(self, tiny_mobilenet, rng):
+        x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        before = tiny_mobilenet.state_dict()
+        executor = QuantizedExecutor(tiny_mobilenet, QuantizationConfig.uniform(2))
+        executor.calibrate(x)
+        executor.forward(x)
+        after = tiny_mobilenet.state_dict()
+        for key in before:
+            assert np.allclose(before[key], after[key])
+
+    def test_collect_activations_covers_all_fms(self, tiny_graph, rng):
+        x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+        index = FeatureMapIndex(tiny_graph)
+        activations = collect_activations(tiny_graph, x, index)
+        assert set(activations) == set(range(len(index)))
+
+    def test_describe_rows(self, tiny_graph, rng):
+        index = FeatureMapIndex(tiny_graph)
+        executor = QuantizedExecutor(tiny_graph, QuantizationConfig.uniform(4), index)
+        rows = executor.describe()
+        assert len(rows) == len(index)
+        assert all(row["activation_bits"] == 4 for row in rows)

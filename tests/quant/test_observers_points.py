@@ -1,0 +1,121 @@
+"""Tests for range observers and the feature-map index."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    FeatureMapIndex,
+    GaussianStatsObserver,
+    MinMaxObserver,
+    MovingAverageMinMaxObserver,
+    PercentileObserver,
+)
+
+
+class TestMinMaxObserver:
+    def test_tracks_extremes(self, rng):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-5.0, 0.5]))
+        assert obs.range() == (-5.0, 2.0)
+
+    def test_empty_range(self):
+        assert MinMaxObserver().range() == (0.0, 0.0)
+
+    def test_reset(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([3.0]))
+        obs.reset()
+        assert obs.range() == (0.0, 0.0)
+
+
+class TestMovingAverageObserver:
+    def test_smooths_towards_batches(self):
+        obs = MovingAverageMinMaxObserver(momentum=0.5)
+        obs.observe(np.array([0.0, 10.0]))
+        obs.observe(np.array([0.0, 20.0]))
+        low, high = obs.range()
+        assert 10.0 < high < 20.0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            MovingAverageMinMaxObserver(momentum=1.5)
+
+
+class TestPercentileObserver:
+    def test_clips_outliers(self, rng):
+        obs = PercentileObserver(percentile=99.0)
+        values = rng.standard_normal(10_000)
+        values[0] = 1e6
+        obs.observe(values)
+        _, high = obs.range()
+        assert high < 100.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=40.0)
+
+
+class TestGaussianStatsObserver:
+    def test_matches_numpy_moments(self, rng):
+        obs = GaussianStatsObserver()
+        data = rng.normal(3.0, 2.0, size=5000)
+        for chunk in np.split(data, 5):
+            obs.observe(chunk)
+        assert np.isclose(obs.mean, data.mean(), atol=1e-6)
+        assert np.isclose(obs.std, data.std(), rtol=1e-6)
+
+    def test_range(self):
+        obs = GaussianStatsObserver()
+        obs.observe(np.array([1.0, -2.0, 5.0]))
+        assert obs.range() == (-2.0, 5.0)
+
+
+class TestFeatureMapIndex:
+    def test_counts_compute_nodes(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        # conv1, pool1, conv2 are spatial compute nodes; gap/fc are not.
+        assert [fm.compute_node for fm in index] == ["conv1", "pool1", "conv2"]
+
+    def test_fused_output_nodes(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        assert index.by_compute_node("conv1").output_node == "relu1"
+        assert index.by_compute_node("conv2").output_node == "relu2"
+        assert index.by_compute_node("pool1").output_node == "pool1"
+
+    def test_sources_chain(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        assert index.sources[0] == [None]  # conv1 reads the image
+        assert index.sources[1] == [0]  # pool reads conv1's feature map
+        assert index.sources[2] == [1]
+
+    def test_consumers_inverse_of_sources(self, tiny_mobilenet):
+        index = FeatureMapIndex(tiny_mobilenet)
+        for i, sources in enumerate(index.sources):
+            for src in sources:
+                if src is not None:
+                    assert i in index.consumers[src]
+
+    def test_residual_add_is_feature_map(self, residual_graph):
+        index = FeatureMapIndex(residual_graph)
+        compute_nodes = [fm.compute_node for fm in index]
+        assert "add" in compute_nodes
+        add_fm = index.by_compute_node("add")
+        srcs = index.sources[add_fm.index]
+        assert len(srcs) == 2 and all(s is not None for s in srcs)
+
+    def test_shapes_and_macs_recorded(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        shapes = tiny_graph.shapes()
+        for fm in index:
+            assert fm.shape == shapes[fm.output_node]
+            assert fm.num_elements == int(np.prod(fm.shape))
+        assert index.total_macs() <= tiny_graph.total_macs()
+
+    def test_by_output_node_miss(self, tiny_graph):
+        index = FeatureMapIndex(tiny_graph)
+        assert index.by_output_node("fc") is None
+
+    def test_last_index(self, tiny_mobilenet):
+        index = FeatureMapIndex(tiny_mobilenet)
+        assert index.last_index() == len(index) - 1
