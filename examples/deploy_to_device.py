@@ -13,6 +13,12 @@ Run with::
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make the examples runnable from a plain checkout (no PYTHONPATH needed).
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro import QuantMCUPipeline, build_model
 from repro.baselines import run_cipolletta, run_layer_based, run_mcunetv2, run_rnnpool
 from repro.data import SyntheticImageNet

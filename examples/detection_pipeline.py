@@ -15,6 +15,12 @@ Run with::
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make the examples runnable from a plain checkout (no PYTHONPATH needed).
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import numpy as np
 
 from repro import QuantMCUPipeline, build_model

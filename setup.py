@@ -5,6 +5,11 @@ so that ``pip install -e .`` also works on minimal offline environments where
 the ``wheel`` package is unavailable (legacy ``setup.py develop`` path).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+# The src/ layout is declared here as well as in pyproject.toml so the legacy
+# ``setup.py develop`` path resolves packages identically.
+setup(
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -11,11 +11,12 @@ Top-level convenience imports cover the public API a downstream user needs
 most often; each subpackage exposes the full detail.
 """
 
-from . import baselines, core, data, experiments, hardware, models, nn, patch, quant
+from . import baselines, core, data, experiments, hardware, models, nn, patch, quant, serving
 from .core import QuantMCUPipeline, QuantMCUResult, run_vdqs_whole_model
 from .hardware import ARDUINO_NANO_33_BLE, STM32H743, MCUDevice, get_device
 from .models import available_models, build_model
 from .quant import FeatureMapIndex, QuantizationConfig
+from .serving import CompiledPipeline, InferenceEngine, ModelSpec, compile_pipeline
 
 __version__ = "1.0.0"
 
@@ -30,6 +31,11 @@ __all__ = [
     "hardware",
     "data",
     "experiments",
+    "serving",
+    "CompiledPipeline",
+    "InferenceEngine",
+    "ModelSpec",
+    "compile_pipeline",
     "QuantMCUPipeline",
     "QuantMCUResult",
     "run_vdqs_whole_model",

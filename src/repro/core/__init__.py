@@ -13,6 +13,7 @@ from .quantmcu import (
     QuantMCUPipeline,
     QuantMCUResult,
     WholeModelVDQSResult,
+    make_static_hooks,
     run_vdqs_whole_model,
 )
 from .score import DEFAULT_LAMBDA, QuantizationScoreCalculator, ScoreBreakdown
@@ -47,6 +48,7 @@ __all__ = [
     "BranchQuantization",
     "QuantMCUResult",
     "QuantMCUPipeline",
+    "make_static_hooks",
     "WholeModelVDQSResult",
     "run_vdqs_whole_model",
 ]

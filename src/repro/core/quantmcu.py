@@ -59,9 +59,42 @@ __all__ = [
     "BranchQuantization",
     "QuantMCUResult",
     "QuantMCUPipeline",
+    "make_static_hooks",
     "run_vdqs_whole_model",
     "WholeModelVDQSResult",
 ]
+
+
+def make_static_hooks(
+    activation_ranges: dict[int, tuple[float, float]],
+    branch_bits: list[dict[int, int]],
+    suffix_bits: dict[int, int],
+):
+    """``(branch_hook, suffix_hook)`` applying a static deployment configuration.
+
+    The single source of the static fake-quantization semantics: both
+    :meth:`QuantMCUPipeline.make_hooks` (experiment side) and
+    :class:`repro.serving.pipeline.CompiledPipeline` (serving side, after a
+    save/load round trip) build their hooks here, which is what keeps the two
+    execution paths bit-identical.
+    """
+
+    def _quantize(array: np.ndarray, fm_index: int, bits: int) -> np.ndarray:
+        if bits >= 32:
+            return array
+        calibrated = activation_ranges.get(fm_index)
+        low, high = (
+            calibrated if calibrated is not None else (float(array.min()), float(array.max()))
+        )
+        return fake_quantize(array, bits, low, high)
+
+    def branch_hook(patch_id: int, fm, array: np.ndarray) -> np.ndarray:
+        return _quantize(array, fm.index, branch_bits[patch_id].get(fm.index, 8))
+
+    def suffix_hook(fm, array: np.ndarray) -> np.ndarray:
+        return _quantize(array, fm.index, suffix_bits.get(fm.index, 8))
+
+    return branch_hook, suffix_hook
 
 
 @dataclass
@@ -152,6 +185,30 @@ class QuantMCUResult:
     @property
     def bitops_m(self) -> float:
         return self.bitops / 1e6
+
+    def deployment_state(self) -> dict:
+        """Serializable description of the deployed (static) configuration.
+
+        Everything :mod:`repro.serving` needs to reconstruct the quantized
+        patch execution without re-running calibration or search: the patch
+        schedule, the per-branch and suffix bitwidths, the calibrated
+        activation ranges, and the weight precision.  Only plain Python
+        containers are used so the dict round-trips through JSON.
+        """
+        return {
+            "split_output_node": self.plan.split_output_node,
+            "num_patches": int(self.plan.num_patches),
+            "classification_mode": self.classification_mode,
+            "weight_bits": int(self.weight_bits),
+            "suffix_bits": {int(k): int(v) for k, v in self.suffix_bits.items()},
+            "branch_bits": [
+                {int(k): int(v) for k, v in b.bitwidths.items()} for b in self.branches
+            ],
+            "activation_ranges": {
+                int(k): [float(lo), float(hi)]
+                for k, (lo, hi) in self.activation_ranges.items()
+            },
+        }
 
 
 class QuantMCUPipeline:
@@ -432,32 +489,34 @@ class QuantMCUPipeline:
         return peak
 
     # --------------------------------------------------------------- executor
-    def make_executor(self, result: QuantMCUResult) -> PatchExecutor:
-        """Build a patch executor applying the QuantMCU quantization.
+    def make_hooks(self, result: QuantMCUResult):
+        """Build the ``(branch_hook, suffix_hook)`` pair applying ``result``.
 
-        In static mode every branch uses its deployed bitwidths.  In dynamic
-        mode the branch classifies each input sample when it reaches the
-        reference feature map and applies 8-bit (outlier samples) or the VDQS
-        assignment (non-outlier samples) from there on.
+        The hooks are what turn a plain :class:`PatchExecutor` into the
+        quantized QuantMCU execution; exposing them separately lets other
+        executors over the same plan (e.g. the patch-parallel executor of
+        :mod:`repro.serving`) apply an identical quantization.
         """
         ranges = result.activation_ranges
+
+        if result.classification_mode == "static" or result.outlier_model is None or not self.use_vdpc:
+            return make_static_hooks(
+                ranges, [b.bitwidths for b in result.branches], result.suffix_bits
+            )
 
         def _quantize(array: np.ndarray, fm_index: int, bits: int) -> np.ndarray:
             if bits >= 32:
                 return array
-            low, high = ranges.get(fm_index, (float(array.min()), float(array.max())))
+            calibrated = ranges.get(fm_index)
+            low, high = (
+                calibrated
+                if calibrated is not None
+                else (float(array.min()), float(array.max()))
+            )
             return fake_quantize(array, bits, low, high)
 
         def suffix_hook(fm, array: np.ndarray) -> np.ndarray:
             return _quantize(array, fm.index, result.suffix_bits.get(fm.index, 8))
-
-        if result.classification_mode == "static" or result.outlier_model is None or not self.use_vdpc:
-
-            def branch_hook(patch_id: int, fm, array: np.ndarray) -> np.ndarray:
-                bits = result.branches[patch_id].bitwidths.get(fm.index, 8)
-                return _quantize(array, fm.index, bits)
-
-            return PatchExecutor(result.plan, branch_hook=branch_hook, suffix_hook=suffix_hook)
 
         # Dynamic per-input classification.
         reference_fm = None
@@ -485,6 +544,17 @@ class QuantMCUPipeline:
             out[~mask] = _quantize(array[~mask], fm.index, mp_bits)
             return out
 
+        return branch_hook, suffix_hook
+
+    def make_executor(self, result: QuantMCUResult) -> PatchExecutor:
+        """Build a patch executor applying the QuantMCU quantization.
+
+        In static mode every branch uses its deployed bitwidths.  In dynamic
+        mode the branch classifies each input sample when it reaches the
+        reference feature map and applies 8-bit (outlier samples) or the VDQS
+        assignment (non-outlier samples) from there on.
+        """
+        branch_hook, suffix_hook = self.make_hooks(result)
         return PatchExecutor(result.plan, branch_hook=branch_hook, suffix_hook=suffix_hook)
 
     @contextmanager

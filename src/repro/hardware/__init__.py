@@ -6,6 +6,7 @@ from .latency import (
     OpCost,
     estimate_layer_based_latency,
     estimate_patch_based_latency,
+    estimate_serving_latency,
 )
 from .sram import AllocationError, BufferLifetime, SRAMAllocator, check_schedule_fits
 
@@ -19,6 +20,7 @@ __all__ = [
     "LatencyBreakdown",
     "estimate_layer_based_latency",
     "estimate_patch_based_latency",
+    "estimate_serving_latency",
     "SRAMAllocator",
     "AllocationError",
     "BufferLifetime",

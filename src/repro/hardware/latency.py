@@ -33,7 +33,13 @@ from ..quant.memory import feature_map_bytes, input_bytes, tensor_bytes
 from ..quant.points import FeatureMapIndex
 from .device import MCUDevice
 
-__all__ = ["OpCost", "LatencyBreakdown", "estimate_layer_based_latency", "estimate_patch_based_latency"]
+__all__ = [
+    "OpCost",
+    "LatencyBreakdown",
+    "estimate_layer_based_latency",
+    "estimate_patch_based_latency",
+    "estimate_serving_latency",
+]
 
 
 @dataclass(frozen=True)
@@ -196,3 +202,30 @@ def estimate_patch_based_latency(
         num_ops += 1
 
     return _accumulate(ops, device, num_ops_overhead=num_ops, num_branches=plan.num_branches)
+
+
+def estimate_serving_latency(
+    plan: PatchPlan,
+    device: MCUDevice,
+    batch_size: int = 1,
+    config: QuantizationConfig | None = None,
+    branch_configs: list[QuantizationConfig] | None = None,
+) -> LatencyBreakdown:
+    """Latency of serving one micro-batch of ``batch_size`` requests.
+
+    Models why batching wins on-device: compute and activation traffic scale
+    with the batch, but weights are streamed from flash once per batch (they
+    stay resident across the samples) and the per-operator / per-branch launch
+    overheads are paid once per batch rather than once per request.  Divide
+    :attr:`LatencyBreakdown.total_seconds` by ``batch_size`` for the amortized
+    per-request cost the serving telemetry reports.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    single = estimate_patch_based_latency(plan, device, config, branch_configs)
+    return LatencyBreakdown(
+        compute_seconds=single.compute_seconds * batch_size,
+        sram_seconds=single.sram_seconds * batch_size,
+        flash_seconds=single.flash_seconds,
+        overhead_seconds=single.overhead_seconds,
+    )

@@ -67,37 +67,50 @@ class PatchExecutor:
         """Return only the stitched split feature map (useful for testing)."""
         return self._run_patch_stage(x)
 
-    # ------------------------------------------------------------ patch stage
-    def _run_patch_stage(self, x: np.ndarray) -> np.ndarray:
+    def run_branch(self, branch: BranchPlan, x: np.ndarray) -> np.ndarray:
+        """Run one dataflow branch and return its tile of the split feature map.
+
+        This is the independent unit of patch-stage work: branches share no
+        intermediate state (each recomputes its halo), so callers — notably
+        the patch-parallel executor in :mod:`repro.serving` — may run branches
+        concurrently and stitch the returned tiles in any order.  The returned
+        array has shape ``(N, C, tile.height, tile.width)`` where ``tile`` is
+        ``branch.output_region``.
+        """
         plan = self.plan
-        graph = plan.graph
-        split_shape = self._shapes[plan.split_output_node]
-        n = x.shape[0]
-        stitched = np.zeros((n, *split_shape), dtype=np.float32)
+        values: dict[str, tuple[np.ndarray, Region]] = {}
+        input_region = branch.clamped_regions[INPUT_NODE]
+        values[INPUT_NODE] = (
+            x[:, :, input_region.row_start : input_region.row_stop,
+              input_region.col_start : input_region.col_stop],
+            input_region,
+        )
+        for name in plan.prefix_nodes:
+            if name not in branch.clamped_regions:
+                continue
+            out_array, out_region = self._compute_node(branch, name, values)
+            fm = self._fm_by_output.get(name)
+            if fm is not None and self.branch_hook is not None:
+                out_array = self.branch_hook(branch.patch_id, fm, out_array)
+            values[name] = (out_array, out_region)
 
-        for branch in plan.branches:
-            values: dict[str, tuple[np.ndarray, Region]] = {}
-            input_region = branch.clamped_regions[INPUT_NODE]
-            values[INPUT_NODE] = (
-                x[:, :, input_region.row_start : input_region.row_stop,
-                  input_region.col_start : input_region.col_stop],
-                input_region,
-            )
-            for name in plan.prefix_nodes:
-                if name not in branch.clamped_regions:
-                    continue
-                out_array, out_region = self._compute_node(branch, name, values)
-                fm = self._fm_by_output.get(name)
-                if fm is not None and self.branch_hook is not None:
-                    out_array = self.branch_hook(branch.patch_id, fm, out_array)
-                values[name] = (out_array, out_region)
+        split_array, split_region = values[plan.split_output_node]
+        tile = branch.output_region
+        row0 = tile.row_start - split_region.row_start
+        col0 = tile.col_start - split_region.col_start
+        return split_array[:, :, row0 : row0 + tile.height, col0 : col0 + tile.width]
 
-            split_array, split_region = values[plan.split_output_node]
+    # ------------------------------------------------------------ patch stage
+    def _allocate_split(self, x: np.ndarray) -> np.ndarray:
+        split_shape = self._shapes[self.plan.split_output_node]
+        return np.zeros((x.shape[0], *split_shape), dtype=np.float32)
+
+    def _run_patch_stage(self, x: np.ndarray) -> np.ndarray:
+        stitched = self._allocate_split(x)
+        for branch in self.plan.branches:
             tile = branch.output_region
-            row0 = tile.row_start - split_region.row_start
-            col0 = tile.col_start - split_region.col_start
             stitched[:, :, tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] = (
-                split_array[:, :, row0 : row0 + tile.height, col0 : col0 + tile.width]
+                self.run_branch(branch, x)
             )
         return stitched
 

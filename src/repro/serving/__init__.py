@@ -1,0 +1,47 @@
+"""Compiled-pipeline inference serving.
+
+This subsystem turns the one-shot QuantMCU experiment flow into a reusable,
+concurrent inference service:
+
+* :class:`CompiledPipeline` — an immutable artifact freezing a model, its
+  quantization configuration and its patch plan, with ``save``/``load``
+  round-tripping (:mod:`repro.serving.pipeline`);
+* :class:`ParallelPatchExecutor` — dispatches the independent dataflow
+  branches of a patch plan to a worker pool, bit-identical to sequential
+  execution (:mod:`repro.serving.parallel`);
+* :class:`InferenceEngine` — a thread-safe request queue with dynamic
+  micro-batching and an LRU :class:`PipelineCache` of compiled pipelines
+  (:mod:`repro.serving.engine`, :mod:`repro.serving.cache`);
+* :class:`TelemetryRecorder` — per-request latency, queue depth, batch-size
+  histogram and cache hit rate (:mod:`repro.serving.telemetry`).
+
+Quickstart::
+
+    result = pipeline.run(calibration)          # QuantMCUPipeline as usual
+    compiled = compile_pipeline(pipeline, result, spec=ModelSpec("mobilenetv2", 48, 8, 0.35))
+    with InferenceEngine(compiled, max_batch_size=8) as engine:
+        logits = engine.infer(image)            # or engine.submit(...) -> Future
+    print(engine.telemetry.snapshot())
+"""
+
+from .cache import CacheStats, PipelineCache
+from .engine import EngineClosed, InferenceEngine
+from .parallel import ParallelPatchExecutor, default_worker_count
+from .pipeline import CompiledPipeline, ModelSpec, compile_pipeline
+from .telemetry import RequestRecord, TelemetryRecorder, TelemetrySnapshot, percentile
+
+__all__ = [
+    "CompiledPipeline",
+    "ModelSpec",
+    "compile_pipeline",
+    "ParallelPatchExecutor",
+    "default_worker_count",
+    "PipelineCache",
+    "CacheStats",
+    "InferenceEngine",
+    "EngineClosed",
+    "TelemetryRecorder",
+    "TelemetrySnapshot",
+    "RequestRecord",
+    "percentile",
+]

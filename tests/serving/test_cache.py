@@ -1,0 +1,71 @@
+"""PipelineCache: LRU order, eviction callbacks, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving import PipelineCache
+
+
+def test_lru_order_and_eviction():
+    built: list[str] = []
+    evicted: list[str] = []
+    cache = PipelineCache(
+        factory=lambda key: built.append(key) or f"pipeline-{key}",
+        capacity=2,
+        on_evict=lambda key, pipeline: evicted.append(key),
+    )
+    cache.get("a")
+    cache.get("b")
+    cache.get("a")          # refresh "a": "b" is now the LRU entry
+    cache.get("c")          # evicts "b"
+    assert built == ["a", "b", "c"]
+    assert evicted == ["b"]
+    assert cache.keys() == ["a", "c"]
+    assert "b" not in cache
+
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.evictions) == (1, 3, 1)
+    assert stats.hit_rate == pytest.approx(0.25)
+    assert stats.size == 2
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        PipelineCache(factory=lambda key: key, capacity=0)
+
+
+def test_clear_runs_eviction_callback():
+    evicted: list[str] = []
+    cache = PipelineCache(lambda key: key, capacity=4, on_evict=lambda k, p: evicted.append(k))
+    cache.get("a")
+    cache.get("b")
+    cache.clear()
+    assert sorted(evicted) == ["a", "b"]
+    assert len(cache) == 0
+
+
+def test_concurrent_get_returns_one_resident_object():
+    barrier = threading.Barrier(8)
+
+    def factory(key):
+        barrier.wait(timeout=10)  # force every thread into the same miss window
+        return object()
+
+    cache = PipelineCache(factory, capacity=2)
+    results: list[object] = []
+
+    def worker():
+        results.append(cache.get("model"))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(cache) == 1
+    resident = cache.get("model")
+    # every later lookup serves the single resident pipeline
+    assert all(cache.get("model") is resident for _ in range(4))

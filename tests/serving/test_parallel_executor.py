@@ -1,0 +1,67 @@
+"""Bit-exactness of patch-parallel execution vs. the sequential executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuantMCUPipeline
+from repro.models import build_model
+from repro.patch import PatchExecutor, build_patch_plan
+from repro.serving import ParallelPatchExecutor, default_worker_count
+
+
+def test_plain_plan_parallel_matches_sequential(residual_graph, rng):
+    plan = build_patch_plan(residual_graph, "add", 2)
+    x = rng.standard_normal((3, 3, 16, 16)).astype(np.float32)
+    sequential = PatchExecutor(plan).forward(x)
+    with ParallelPatchExecutor(plan, max_workers=4) as parallel:
+        assert np.array_equal(parallel.forward(x), sequential)
+
+
+def test_single_worker_falls_back_to_sequential_path(residual_graph, rng):
+    plan = build_patch_plan(residual_graph, "add", 2)
+    x = rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+    with ParallelPatchExecutor(plan, max_workers=1) as parallel:
+        assert np.array_equal(parallel.forward(x), PatchExecutor(plan).forward(x))
+    assert parallel._pool is None  # never spun up a pool
+
+
+def test_default_worker_count_bounds(residual_graph):
+    plan = build_patch_plan(residual_graph, "add", 2)
+    assert 1 <= default_worker_count(plan) <= plan.num_branches
+
+
+@pytest.mark.parametrize("model_name,resolution", [("mobilenetv2", 32), ("mcunet", 48)])
+def test_quantized_parallel_bit_identical_on_zoo_models(model_name, resolution, rng):
+    """Acceptance: parallel serving output == sequential PatchExecutor output,
+    under the full QuantMCU quantization, on two zoo models."""
+    model = build_model(model_name, resolution=resolution, num_classes=4, width_mult=0.35, seed=3)
+    calib = rng.standard_normal((4, 3, resolution, resolution)).astype(np.float32)
+    pipeline = QuantMCUPipeline(model, sram_limit_bytes=64 * 1024, num_patches=2)
+    result = pipeline.run(calib)
+
+    branch_hook, suffix_hook = pipeline.make_hooks(result)
+    x = rng.standard_normal((3, 3, resolution, resolution)).astype(np.float32)
+    with pipeline.quantized_weights():
+        sequential = PatchExecutor(
+            result.plan, branch_hook=branch_hook, suffix_hook=suffix_hook
+        ).forward(x)
+        with ParallelPatchExecutor(
+            result.plan, branch_hook=branch_hook, suffix_hook=suffix_hook, max_workers=4
+        ) as parallel:
+            assert np.array_equal(parallel.forward(x), sequential)
+
+
+def test_run_branch_tiles_cover_split_feature_map(tiny_mobilenet, rng):
+    plan = QuantMCUPipeline(tiny_mobilenet, sram_limit_bytes=64 * 1024, num_patches=2).build_plan()
+    executor = PatchExecutor(plan)
+    x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+    stitched = executor.stitched_split_feature_map(x)
+    rebuilt = np.zeros_like(stitched)
+    for branch in plan.branches:
+        tile = branch.output_region
+        rebuilt[:, :, tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] = (
+            executor.run_branch(branch, x)
+        )
+    assert np.array_equal(rebuilt, stitched)
