@@ -11,9 +11,22 @@ Top-level convenience imports cover the public API a downstream user needs
 most often; each subpackage exposes the full detail.
 """
 
-from . import baselines, core, data, experiments, hardware, models, nn, patch, quant, serving
+from . import (
+    baselines,
+    core,
+    data,
+    distributed,
+    experiments,
+    hardware,
+    models,
+    nn,
+    patch,
+    quant,
+    serving,
+)
 from .core import QuantMCUPipeline, QuantMCUResult, run_vdqs_whole_model
-from .hardware import ARDUINO_NANO_33_BLE, STM32H743, MCUDevice, get_device
+from .distributed import DistributedExecutor, ShardPlanner
+from .hardware import ARDUINO_NANO_33_BLE, STM32H743, ClusterSpec, MCUDevice, get_cluster, get_device
 from .models import available_models, build_model
 from .quant import FeatureMapIndex, QuantizationConfig
 from .serving import CompiledPipeline, InferenceEngine, ModelSpec, compile_pipeline
@@ -30,8 +43,13 @@ __all__ = [
     "baselines",
     "hardware",
     "data",
+    "distributed",
     "experiments",
     "serving",
+    "DistributedExecutor",
+    "ShardPlanner",
+    "ClusterSpec",
+    "get_cluster",
     "CompiledPipeline",
     "InferenceEngine",
     "ModelSpec",

@@ -65,18 +65,13 @@ __all__ = [
 ]
 
 
-def make_static_hooks(
-    activation_ranges: dict[int, tuple[float, float]],
-    branch_bits: list[dict[int, int]],
-    suffix_bits: dict[int, int],
-):
-    """``(branch_hook, suffix_hook)`` applying a static deployment configuration.
+def _make_range_quantizer(activation_ranges: dict[int, tuple[float, float]]):
+    """``quantize(array, fm_index, bits)`` applying calibrated ranges.
 
-    The single source of the static fake-quantization semantics: both
-    :meth:`QuantMCUPipeline.make_hooks` (experiment side) and
-    :class:`repro.serving.pipeline.CompiledPipeline` (serving side, after a
-    save/load round trip) build their hooks here, which is what keeps the two
-    execution paths bit-identical.
+    The single source of the fake-quantization semantics shared by every
+    execution path — static hooks (experiment and serving side) and the
+    dynamic per-input hooks of :meth:`QuantMCUPipeline.make_hooks` — so the
+    fallback-range handling cannot drift between them.
     """
 
     def _quantize(array: np.ndarray, fm_index: int, bits: int) -> np.ndarray:
@@ -87,6 +82,23 @@ def make_static_hooks(
             calibrated if calibrated is not None else (float(array.min()), float(array.max()))
         )
         return fake_quantize(array, bits, low, high)
+
+    return _quantize
+
+
+def make_static_hooks(
+    activation_ranges: dict[int, tuple[float, float]],
+    branch_bits: list[dict[int, int]],
+    suffix_bits: dict[int, int],
+):
+    """``(branch_hook, suffix_hook)`` applying a static deployment configuration.
+
+    Both :meth:`QuantMCUPipeline.make_hooks` (experiment side) and
+    :class:`repro.serving.pipeline.CompiledPipeline` (serving side, after a
+    save/load round trip) build their hooks here, which is what keeps the two
+    execution paths bit-identical.
+    """
+    _quantize = _make_range_quantizer(activation_ranges)
 
     def branch_hook(patch_id: int, fm, array: np.ndarray) -> np.ndarray:
         return _quantize(array, fm.index, branch_bits[patch_id].get(fm.index, 8))
@@ -504,16 +516,7 @@ class QuantMCUPipeline:
                 ranges, [b.bitwidths for b in result.branches], result.suffix_bits
             )
 
-        def _quantize(array: np.ndarray, fm_index: int, bits: int) -> np.ndarray:
-            if bits >= 32:
-                return array
-            calibrated = ranges.get(fm_index)
-            low, high = (
-                calibrated
-                if calibrated is not None
-                else (float(array.min()), float(array.max()))
-            )
-            return fake_quantize(array, bits, low, high)
+        _quantize = _make_range_quantizer(ranges)
 
         def suffix_hook(fm, array: np.ndarray) -> np.ndarray:
             return _quantize(array, fm.index, result.suffix_bits.get(fm.index, 8))

@@ -1,0 +1,178 @@
+"""Shard planning: partition a patch grid across the devices of a cluster.
+
+The patches of a :class:`~repro.patch.plan.PatchPlan` are independent
+dataflow branches, so distributing them is a pure assignment problem:
+every branch goes to exactly one device, and the patch-stage makespan is the
+load of the most-loaded device.  :class:`ShardPlanner` solves it with
+longest-processing-time-first (LPT) greedy scheduling over the *actual*
+per-branch MAC counts from :mod:`repro.patch.analysis` — not tile areas,
+because halo overlap makes interior patches measurably more expensive than
+edge patches — while accounting for each device's SRAM budget.
+
+The produced :class:`ShardPlan` is purely descriptive; the execution side
+(:mod:`repro.distributed.executor`) and the cluster latency model
+(:mod:`repro.hardware.cluster`) both consume its branch→device assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.cluster import ClusterSpec
+from ..patch.analysis import branch_macs, shard_halo_macs, shard_macs, shard_peak_bytes
+from ..patch.plan import PatchPlan
+from ..quant.config import QuantizationConfig
+
+__all__ = ["Shard", "ShardPlan", "ShardPlanner"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """The work one device executes: a subset of the plan's branches.
+
+    ``halo_macs`` is the redundant work this shard performs beyond its ideal
+    (overlap-free) share; ``fits_budget`` records whether the shard's peak
+    working set stays within its device's SRAM.
+    """
+
+    device_id: int
+    branch_ids: tuple[int, ...]
+    macs: int
+    halo_macs: int
+    peak_bytes: int
+    sram_budget_bytes: int
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branch_ids)
+
+    @property
+    def fits_budget(self) -> bool:
+        return self.peak_bytes <= self.sram_budget_bytes
+
+
+@dataclass
+class ShardPlan:
+    """A complete branch→device assignment for one patch plan."""
+
+    plan: PatchPlan
+    cluster: ClusterSpec
+    shards: list[Shard]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.shards)
+
+    def assignment(self) -> list[list[int]]:
+        """``assignment[d]`` = branch ids of device ``d`` (cluster latency model input)."""
+        return [list(shard.branch_ids) for shard in self.shards]
+
+    @property
+    def covered_branches(self) -> set[int]:
+        return {b for shard in self.shards for b in shard.branch_ids}
+
+    @property
+    def max_shard_macs(self) -> int:
+        """The modelled patch-stage bottleneck: the most-loaded device's MACs."""
+        return max((shard.macs for shard in self.shards), default=0)
+
+    @property
+    def total_halo_macs(self) -> int:
+        return sum(shard.halo_macs for shard in self.shards)
+
+    @property
+    def fits_budget(self) -> bool:
+        """Whether every shard stays within its device's SRAM budget."""
+        return all(shard.fits_budget for shard in self.shards)
+
+    def validate(self) -> None:
+        """Raise if the shards do not cover every branch exactly once."""
+        seen: dict[int, int] = {}
+        for shard in self.shards:
+            for branch_id in shard.branch_ids:
+                seen[branch_id] = seen.get(branch_id, 0) + 1
+        expected = set(range(self.plan.num_branches))
+        duplicates = sorted(b for b, count in seen.items() if count > 1)
+        missing = sorted(expected - set(seen))
+        extra = sorted(set(seen) - expected)
+        if duplicates or missing or extra:
+            raise ValueError(
+                f"invalid shard plan: duplicates={duplicates}, "
+                f"missing={missing}, unknown={extra}"
+            )
+
+
+class ShardPlanner:
+    """Partition patch branches into per-device shards (see module docstring).
+
+    Parameters
+    ----------
+    cluster:
+        Device pool to plan for.
+    config:
+        Quantization configuration used for the SRAM accounting (defaults to
+        uniform 8-bit, the conservative deployment configuration).
+    """
+
+    def __init__(self, cluster: ClusterSpec, config: QuantizationConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config if config is not None else QuantizationConfig.uniform(8)
+
+    def plan_shards(self, plan: PatchPlan) -> ShardPlan:
+        """LPT assignment of ``plan``'s branches to the cluster's devices.
+
+        Branches are placed heaviest-first onto the least-loaded device whose
+        SRAM budget still accommodates the grown shard; when no device can
+        take a branch within budget, the least-loaded device takes it anyway
+        (the shard then reports ``fits_budget=False`` rather than failing —
+        the caller decides whether an infeasible plan is acceptable).
+        """
+        cluster = self.cluster
+        costs = sorted(
+            ((branch_macs(plan, branch), branch.patch_id) for branch in plan.branches),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        loads = [0] * cluster.num_devices
+        assigned: list[list[int]] = [[] for _ in range(cluster.num_devices)]
+
+        for macs, branch_id in costs:
+            order = sorted(range(cluster.num_devices), key=lambda d: (loads[d], d))
+            chosen = None
+            for device_id in order:
+                if self._fits(plan, assigned[device_id] + [branch_id], device_id):
+                    chosen = device_id
+                    break
+            if chosen is None:
+                chosen = order[0]
+            assigned[chosen].append(branch_id)
+            loads[chosen] += macs
+
+        shards = []
+        for device_id, branch_ids in enumerate(assigned):
+            branch_ids = sorted(branch_ids)
+            shards.append(
+                Shard(
+                    device_id=device_id,
+                    branch_ids=tuple(branch_ids),
+                    macs=shard_macs(plan, branch_ids),
+                    halo_macs=shard_halo_macs(plan, branch_ids),
+                    peak_bytes=self._peak_bytes(plan, branch_ids, device_id),
+                    sram_budget_bytes=cluster.devices[device_id].sram_bytes,
+                )
+            )
+        shard_plan = ShardPlan(plan=plan, cluster=cluster, shards=shards)
+        shard_plan.validate()
+        return shard_plan
+
+    # ------------------------------------------------------------------ SRAM
+    def _peak_bytes(self, plan: PatchPlan, branch_ids: list[int], device_id: int) -> int:
+        return shard_peak_bytes(
+            plan,
+            branch_ids,
+            self.config,
+            holds_split_buffer=device_id == self.cluster.head_device,
+        )
+
+    def _fits(self, plan: PatchPlan, branch_ids: list[int], device_id: int) -> bool:
+        budget = self.cluster.devices[device_id].sram_bytes
+        return self._peak_bytes(plan, branch_ids, device_id) <= budget

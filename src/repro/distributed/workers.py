@@ -1,0 +1,88 @@
+"""Simulated device workers: one serial executor per cluster device.
+
+A real multi-MCU deployment runs each shard on its own microcontroller; the
+simulation maps every device to a :class:`DeviceShard` holding a
+*single-threaded* pool, so the branches of one shard execute serially (as
+they would on one core) while different devices run concurrently — the same
+concurrency structure as the hardware, which is what makes the modelled
+makespan and the simulated wall clock comparable in shape.
+
+The computation itself is the ordinary
+:meth:`~repro.patch.executor.PatchExecutor.run_branch`: every branch performs
+the exact same floating-point operations it would under sequential or
+patch-parallel execution, so device sharding cannot change any result bit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from ..patch.plan import BranchPlan
+
+__all__ = ["DeviceShard"]
+
+RunBranch = Callable[[BranchPlan, np.ndarray], np.ndarray]
+
+
+class DeviceShard:
+    """One simulated device: executes its assigned branches serially.
+
+    Parameters
+    ----------
+    device_id:
+        Index of the device within the cluster.
+    branches:
+        The :class:`~repro.patch.plan.BranchPlan`s this device owns.
+    run_branch:
+        Callback computing one branch's tile (typically the bound
+        ``run_branch`` of the executor that owns this worker).
+    """
+
+    def __init__(
+        self, device_id: int, branches: list[BranchPlan], run_branch: RunBranch
+    ) -> None:
+        self.device_id = device_id
+        self.branches = list(branches)
+        self._run_branch = run_branch
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ----------------------------------------------------------------- pool
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"device-{self.device_id}"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the device's executor thread down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------ execution
+    def _run_shard(self, x: np.ndarray) -> list[tuple[BranchPlan, np.ndarray]]:
+        return [(branch, self._run_branch(branch, x)) for branch in self.branches]
+
+    def submit_patch_stage(self, x: np.ndarray) -> "Future[list[tuple[BranchPlan, np.ndarray]]]":
+        """Run this device's shard on ``x`` asynchronously.
+
+        Returns a future resolving to ``[(branch, tile), ...]`` — the tiles
+        this device contributes to the stitched split feature map.  Branches
+        run serially on the device's single executor thread; an empty shard
+        resolves immediately.
+        """
+        if not self.branches:
+            future: Future = Future()
+            future.set_result([])
+            return future
+        return self._ensure_pool().submit(self._run_shard, x)
+
+    def __enter__(self) -> "DeviceShard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

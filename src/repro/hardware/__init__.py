@@ -1,12 +1,23 @@
-"""MCU hardware model: device descriptors, latency model and SRAM allocator."""
+"""MCU hardware model: devices, clusters, latency models and SRAM allocator."""
 
+from .cluster import (
+    CLUSTER_REGISTRY,
+    ClusterLatencyBreakdown,
+    ClusterSpec,
+    estimate_cluster_latency,
+    estimate_cluster_serving_latency,
+    get_cluster,
+    make_cluster,
+)
 from .device import ARDUINO_NANO_33_BLE, DEVICE_REGISTRY, MCUDevice, STM32H743, get_device
 from .latency import (
     LatencyBreakdown,
     OpCost,
+    branch_op_costs,
     estimate_layer_based_latency,
     estimate_patch_based_latency,
     estimate_serving_latency,
+    suffix_op_costs,
 )
 from .sram import AllocationError, BufferLifetime, SRAMAllocator, check_schedule_fits
 
@@ -16,8 +27,17 @@ __all__ = [
     "STM32H743",
     "DEVICE_REGISTRY",
     "get_device",
+    "ClusterSpec",
+    "ClusterLatencyBreakdown",
+    "CLUSTER_REGISTRY",
+    "make_cluster",
+    "get_cluster",
+    "estimate_cluster_latency",
+    "estimate_cluster_serving_latency",
     "OpCost",
     "LatencyBreakdown",
+    "branch_op_costs",
+    "suffix_op_costs",
     "estimate_layer_based_latency",
     "estimate_patch_based_latency",
     "estimate_serving_latency",

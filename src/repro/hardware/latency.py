@@ -36,6 +36,8 @@ from .device import MCUDevice
 __all__ = [
     "OpCost",
     "LatencyBreakdown",
+    "branch_op_costs",
+    "suffix_op_costs",
     "estimate_layer_based_latency",
     "estimate_patch_based_latency",
     "estimate_serving_latency",
@@ -128,63 +130,59 @@ def estimate_layer_based_latency(
     return _accumulate(ops, device, num_ops_overhead=len(ops), num_branches=0)
 
 
-def estimate_patch_based_latency(
-    plan: PatchPlan,
-    device: MCUDevice,
-    config: QuantizationConfig | None = None,
-    branch_configs: list[QuantizationConfig] | None = None,
-) -> LatencyBreakdown:
-    """Latency of patch-based execution of ``plan``.
+def branch_op_costs(
+    plan: PatchPlan, branch_id: int, config: QuantizationConfig
+) -> list[OpCost]:
+    """Per-operator costs of executing one dataflow branch under ``config``.
 
-    ``branch_configs`` optionally supplies a per-branch quantization config
-    (QuantMCU assigns different bitwidths per branch); ``config`` is used for
-    any branch without an entry and for the suffix.
+    The shared building block of the single-device patch latency estimate and
+    the multi-device cluster model: a shard's compute cost is the sum of its
+    branches' op costs, accumulated against that shard's device.
     """
-    config = config if config is not None else QuantizationConfig.uniform(8)
     fm_index = plan.fm_index
     prefix = set(plan.prefix_nodes)
+    branch = plan.branches[branch_id]
     ops: list[OpCost] = []
-    num_ops = 0
-
-    for branch_idx, branch in enumerate(plan.branches):
-        branch_config = config
-        if branch_configs is not None and branch_idx < len(branch_configs):
-            branch_config = branch_configs[branch_idx]
-        for fm in fm_index:
-            if fm.compute_node not in prefix:
-                continue
-            region = branch.clamped_regions.get(fm.output_node)
-            if region is None:
-                continue
-            layer = plan.graph.nodes[fm.compute_node].layer
-            macs = macs_for_region(layer, region)
-            w_bits = branch_config.w_bits(fm.compute_node)
-            a_bits = _source_bits(fm_index, fm.index, branch_config)
-            out_bytes = tensor_bytes(fm.shape[0] * region.area, branch_config.act_bits(fm.index))
-            in_bytes = 0
-            for src in fm_index.sources[fm.index]:
-                if src is None:
-                    in_region = branch.clamped_regions.get("input")
-                    channels = plan.graph.input_shape[0]
-                    bits = branch_config.input_bits
-                else:
-                    src_fm = fm_index[src]
-                    in_region = branch.clamped_regions.get(src_fm.output_node)
-                    channels = src_fm.shape[0]
-                    bits = branch_config.act_bits(src)
-                if in_region is not None:
-                    in_bytes += tensor_bytes(channels * in_region.area, bits)
-            ops.append(
-                OpCost(
-                    macs=macs,
-                    weight_bits=w_bits,
-                    activation_bits=a_bits,
-                    activation_bytes=in_bytes + out_bytes,
-                    weight_bytes=tensor_bytes(fm.weight_params, w_bits),
-                )
+    for fm in fm_index:
+        if fm.compute_node not in prefix:
+            continue
+        region = branch.clamped_regions.get(fm.output_node)
+        if region is None:
+            continue
+        layer = plan.graph.nodes[fm.compute_node].layer
+        macs = macs_for_region(layer, region)
+        w_bits = config.w_bits(fm.compute_node)
+        a_bits = _source_bits(fm_index, fm.index, config)
+        out_bytes = tensor_bytes(fm.shape[0] * region.area, config.act_bits(fm.index))
+        in_bytes = 0
+        for src in fm_index.sources[fm.index]:
+            if src is None:
+                in_region = branch.clamped_regions.get("input")
+                channels = plan.graph.input_shape[0]
+                bits = config.input_bits
+            else:
+                src_fm = fm_index[src]
+                in_region = branch.clamped_regions.get(src_fm.output_node)
+                channels = src_fm.shape[0]
+                bits = config.act_bits(src)
+            if in_region is not None:
+                in_bytes += tensor_bytes(channels * in_region.area, bits)
+        ops.append(
+            OpCost(
+                macs=macs,
+                weight_bits=w_bits,
+                activation_bits=a_bits,
+                activation_bytes=in_bytes + out_bytes,
+                weight_bytes=tensor_bytes(fm.weight_params, w_bits),
             )
-            num_ops += 1
+        )
+    return ops
 
+
+def suffix_op_costs(plan: PatchPlan, config: QuantizationConfig) -> list[OpCost]:
+    """Per-operator costs of the layer-by-layer suffix under ``config``."""
+    fm_index = plan.fm_index
+    ops: list[OpCost] = []
     for idx in plan.suffix_feature_maps():
         fm = fm_index[idx]
         w_bits = config.w_bits(fm.compute_node)
@@ -199,9 +197,30 @@ def estimate_patch_based_latency(
                 weight_bytes=tensor_bytes(fm.weight_params, w_bits),
             )
         )
-        num_ops += 1
+    return ops
 
-    return _accumulate(ops, device, num_ops_overhead=num_ops, num_branches=plan.num_branches)
+
+def estimate_patch_based_latency(
+    plan: PatchPlan,
+    device: MCUDevice,
+    config: QuantizationConfig | None = None,
+    branch_configs: list[QuantizationConfig] | None = None,
+) -> LatencyBreakdown:
+    """Latency of patch-based execution of ``plan``.
+
+    ``branch_configs`` optionally supplies a per-branch quantization config
+    (QuantMCU assigns different bitwidths per branch); ``config`` is used for
+    any branch without an entry and for the suffix.
+    """
+    config = config if config is not None else QuantizationConfig.uniform(8)
+    ops: list[OpCost] = []
+    for branch_idx in range(plan.num_branches):
+        branch_config = config
+        if branch_configs is not None and branch_idx < len(branch_configs):
+            branch_config = branch_configs[branch_idx]
+        ops.extend(branch_op_costs(plan, branch_idx, branch_config))
+    ops.extend(suffix_op_costs(plan, config))
+    return _accumulate(ops, device, num_ops_overhead=len(ops), num_branches=plan.num_branches)
 
 
 def estimate_serving_latency(

@@ -38,6 +38,7 @@ from typing import Hashable
 
 import numpy as np
 
+from ..hardware.cluster import ClusterSpec, estimate_cluster_serving_latency
 from ..hardware.device import MCUDevice
 from ..hardware.latency import estimate_serving_latency
 from .cache import PipelineCache
@@ -102,9 +103,16 @@ class InferenceEngine:
     parallel_patches:
         Run the patch stage of each flush through the patch-parallel worker
         pool (bit-identical to sequential execution).
+    cluster:
+        Optional :class:`~repro.hardware.cluster.ClusterSpec`; flushes then
+        dispatch through the multi-device patch-sharded executor (also
+        bit-identical), and the modelled telemetry latency switches to the
+        cluster makespan model.  Mutually exclusive with ``parallel_patches``
+        (a cluster already owns the parallelism structure).
     device:
         Optional MCU target; attaches an amortized modelled per-request
-        on-device latency to the telemetry.
+        on-device latency to the telemetry.  Ignored for the compute model
+        when ``cluster`` is set (the cluster's own devices are used).
     telemetry:
         Recorder to use; a fresh one is created by default.
     """
@@ -115,9 +123,12 @@ class InferenceEngine:
         max_batch_size: int = 8,
         batch_timeout_s: float = 0.005,
         parallel_patches: bool = False,
+        cluster: ClusterSpec | None = None,
         device: MCUDevice | None = None,
         telemetry: TelemetryRecorder | None = None,
     ) -> None:
+        if cluster is not None and parallel_patches:
+            raise ValueError("parallel_patches and cluster are mutually exclusive")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_timeout_s < 0:
@@ -134,6 +145,7 @@ class InferenceEngine:
         self.max_batch_size = max_batch_size
         self.batch_timeout_s = batch_timeout_s
         self.parallel_patches = parallel_patches
+        self.cluster = cluster
         self.device = device
         self.telemetry = telemetry if telemetry is not None else TelemetryRecorder()
         self._queue: queue.Queue = queue.Queue()
@@ -142,7 +154,7 @@ class InferenceEngine:
         # Serializes the closed-check + enqueue against close(), so no request
         # can slip into the queue after the shutdown sentinel.
         self._submit_lock = threading.Lock()
-        self._device_breakdowns: dict[str, object] = {}
+        self._device_breakdowns: dict[tuple, float] = {}
         self._batcher = threading.Thread(
             target=self._batch_loop, name="inference-batcher", daemon=True
         )
@@ -155,6 +167,13 @@ class InferenceEngine:
         ``x`` is a single ``(C, H, W)`` sample (resolved to its ``(classes,)``
         output row) or a ``(N, C, H, W)`` mini-batch (resolved to ``(N, ...)``).
         """
+        if self._closed:
+            # Fail fast before the cache lookup: a miss would run the factory
+            # (a full compile) and mutate cache/telemetry state for a request
+            # that can never be served.  The authoritative check happens again
+            # under _submit_lock below, so a close() racing past this line
+            # still cannot let the request slip into the queue.
+            raise EngineClosed("engine is closed")
         if key is None:
             if self._default_key is None:
                 raise ValueError("engine serves multiple pipelines; a key is required")
@@ -277,7 +296,9 @@ class InferenceEngine:
                 if len(requests) == 1
                 else np.concatenate([r.x for r in requests], axis=0)
             )
-            output = group.pipeline.infer(batch, parallel=self.parallel_patches)
+            output = group.pipeline.infer(
+                batch, parallel=self.parallel_patches, cluster=self.cluster
+            )
         except Exception as exc:  # propagate the failure to every caller
             for request in requests:
                 request.future.set_exception(exc)
@@ -303,19 +324,38 @@ class InferenceEngine:
             )
 
     def _modelled_device_seconds(self, pipeline: CompiledPipeline, batch_size: int) -> float:
-        """Amortized modelled on-device seconds per sample of this batch."""
-        if self.device is None:
+        """Amortized modelled on-device seconds per sample of this batch.
+
+        With a cluster attached the model is the multi-device makespan of
+        :func:`~repro.hardware.cluster.estimate_cluster_serving_latency` (for
+        the same shard assignment the flush actually executed); otherwise the
+        single-device serving model against :attr:`device`.
+        """
+        if self.device is None and self.cluster is None:
             return 0.0
         cache_key = (pipeline.fingerprint, batch_size)
-        breakdown = self._device_breakdowns.get(cache_key)
-        if breakdown is None:
+        seconds = self._device_breakdowns.get(cache_key)
+        if seconds is None:
             suffix_config, branch_configs = pipeline.quantization_configs()
-            breakdown = estimate_serving_latency(
-                pipeline.plan,
-                self.device,
-                batch_size=batch_size,
-                config=suffix_config,
-                branch_configs=branch_configs,
-            )
-            self._device_breakdowns[cache_key] = breakdown
-        return breakdown.total_seconds / batch_size
+            if self.cluster is not None:
+                executor = pipeline.executor(cluster=self.cluster)
+                breakdown = estimate_cluster_serving_latency(
+                    pipeline.plan,
+                    executor.shard_plan.assignment(),
+                    self.cluster,
+                    batch_size=batch_size,
+                    config=suffix_config,
+                    branch_configs=branch_configs,
+                )
+                seconds = breakdown.makespan_seconds
+            else:
+                breakdown = estimate_serving_latency(
+                    pipeline.plan,
+                    self.device,
+                    batch_size=batch_size,
+                    config=suffix_config,
+                    branch_configs=branch_configs,
+                )
+                seconds = breakdown.total_seconds
+            self._device_breakdowns[cache_key] = seconds
+        return seconds / batch_size

@@ -32,6 +32,8 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from ..core.quantmcu import QuantMCUPipeline, QuantMCUResult, make_static_hooks
+from ..distributed.executor import DistributedExecutor
+from ..hardware.cluster import ClusterSpec
 from ..models import build_model
 from ..nn import Graph
 from ..patch.executor import PatchExecutor
@@ -137,6 +139,7 @@ class CompiledPipeline:
             plan, branch_hook=self._branch_hook, suffix_hook=self._suffix_hook
         )
         self._parallel: ParallelPatchExecutor | None = None
+        self._distributed: dict[tuple, DistributedExecutor] = {}
         self._executor_lock = threading.Lock()
 
     # ----------------------------------------------------------- construction
@@ -169,8 +172,30 @@ class CompiledPipeline:
         return cls(graph, plan, state, spec=spec)
 
     # ------------------------------------------------------------- inference
-    def executor(self, parallel: bool = False, max_workers: int | None = None) -> PatchExecutor:
-        """The (cached) executor backing :meth:`infer`."""
+    def executor(
+        self,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> PatchExecutor:
+        """The (cached) executor backing :meth:`infer`.
+
+        ``cluster`` selects the multi-device patch-sharded path (one cached
+        :class:`~repro.distributed.DistributedExecutor` per cluster identity);
+        ``parallel`` selects the single-node patch-parallel worker pool.
+        """
+        if cluster is not None:
+            with self._executor_lock:
+                executor = self._distributed.get(cluster.cache_key)
+                if executor is None:
+                    executor = DistributedExecutor(
+                        self.plan,
+                        cluster,
+                        branch_hook=self._branch_hook,
+                        suffix_hook=self._suffix_hook,
+                    )
+                    self._distributed[cluster.cache_key] = executor
+                return executor
         if not parallel:
             return self._sequential
         with self._executor_lock:
@@ -188,11 +213,17 @@ class CompiledPipeline:
             return self._parallel
 
     def infer(
-        self, x: np.ndarray, parallel: bool = False, max_workers: int | None = None
+        self,
+        x: np.ndarray,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        cluster: ClusterSpec | None = None,
     ) -> np.ndarray:
         """Run quantized patch-based inference on a batch ``(N, C, H, W)``."""
         try:
-            return self.executor(parallel=parallel, max_workers=max_workers).forward(x)
+            return self.executor(
+                parallel=parallel, max_workers=max_workers, cluster=cluster
+            ).forward(x)
         finally:
             # Layers stash backward-pass caches (im2col matrices, BN x_hat)
             # on every forward; a resident serving pipeline must not keep a
@@ -203,11 +234,14 @@ class CompiledPipeline:
     __call__ = infer
 
     def close(self) -> None:
-        """Release the parallel worker pool, if one was created."""
+        """Release the parallel worker pool and any distributed device pools."""
         with self._executor_lock:
             if self._parallel is not None:
                 self._parallel.close()
                 self._parallel = None
+            for executor in self._distributed.values():
+                executor.close()
+            self._distributed.clear()
 
     # ----------------------------------------------------------- fingerprint
     def _fingerprint(self) -> str:

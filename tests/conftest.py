@@ -1,89 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared test configuration.
+
+All common fixtures live in :mod:`tests/fixtures` (one definition, used by
+every test directory); this conftest only re-exports them so pytest's fixture
+discovery finds them suite-wide.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
-from repro.experiments.presets import ExperimentScale
-from repro.models import build_model
-from repro.nn import (
-    Add,
-    BatchNorm2d,
-    Conv2d,
-    DepthwiseConv2d,
-    GlobalAvgPool,
-    Graph,
-    Linear,
-    MaxPool2d,
-    ReLU,
-    ReLU6,
-)
-
-
-@pytest.fixture
-def rng() -> np.random.Generator:
-    return np.random.default_rng(0)
-
-
-@pytest.fixture
-def tiny_graph() -> Graph:
-    """A small sequential CNN: conv/bn/relu x2 + pool + classifier."""
-    g = Graph((3, 16, 16), name="tiny")
-    g.add(Conv2d(3, 8, 3, stride=1, padding=1, bias=False), name="conv1")
-    g.add(BatchNorm2d(8), name="bn1")
-    g.add(ReLU(), name="relu1")
-    g.add(MaxPool2d(2), name="pool1")
-    g.add(Conv2d(8, 16, 3, stride=2, padding=1), name="conv2")
-    g.add(ReLU6(), name="relu2")
-    g.add(GlobalAvgPool(), name="gap")
-    g.add(Linear(16, 4), name="fc")
-    return g
-
-
-@pytest.fixture
-def residual_graph() -> Graph:
-    """A small graph with a residual Add and a depthwise conv."""
-    g = Graph((3, 16, 16), name="residual")
-    g.add(Conv2d(3, 8, 3, stride=2, padding=1, bias=False), name="stem")
-    g.add(BatchNorm2d(8), name="stem_bn")
-    stem = g.add(ReLU6(), name="stem_act")
-    g.add(DepthwiseConv2d(8, 3, stride=1, padding=1, bias=False), inputs=stem, name="dw")
-    g.add(BatchNorm2d(8), name="dw_bn")
-    g.add(ReLU6(), name="dw_act")
-    g.add(Conv2d(8, 8, 1), name="project")
-    proj = g.add(BatchNorm2d(8), name="project_bn")
-    g.add(Add(), inputs=[stem, proj], name="add")
-    g.add(GlobalAvgPool(), name="gap")
-    g.add(Linear(8, 4), name="fc")
-    return g
-
-
-@pytest.fixture
-def tiny_mobilenet() -> Graph:
-    """A reduced MobileNetV2 used by integration tests."""
-    return build_model("mobilenetv2", resolution=32, num_classes=4, width_mult=0.35, seed=3)
-
-
-@pytest.fixture
-def tiny_scale() -> ExperimentScale:
-    """A miniature experiment scale so experiment runners finish in seconds."""
-    return ExperimentScale(
-        name="quick",
-        analytic_resolution=64,
-        analytic_width_mult=0.35,
-        analytic_num_classes=10,
-        accuracy_resolution=24,
-        accuracy_width_mult=0.35,
-        num_classes=4,
-        samples_per_class=6,
-        train_epochs=1,
-        calibration_images=4,
-        eval_images=16,
-        haq_iterations=3,
-    )
-
-
-@pytest.fixture
-def small_batch(rng) -> np.ndarray:
-    return rng.standard_normal((2, 3, 16, 16)).astype(np.float32)
+from fixtures import *  # noqa: F401,F403

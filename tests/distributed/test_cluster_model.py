@@ -1,0 +1,130 @@
+"""Cluster hardware model: spec validation, makespan behaviour, pipelining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import ShardPlanner, pipeline_timeline
+from repro.hardware import (
+    CLUSTER_REGISTRY,
+    ClusterSpec,
+    STM32H743,
+    estimate_cluster_latency,
+    estimate_cluster_serving_latency,
+    estimate_patch_based_latency,
+    get_cluster,
+    make_cluster,
+)
+from repro.patch.plan import build_patch_plan
+from repro.patch.scheduler import candidate_split_nodes
+
+
+@pytest.fixture
+def mobilenet_plan(tiny_mobilenet):
+    return build_patch_plan(tiny_mobilenet, candidate_split_nodes(tiny_mobilenet)[0], 4)
+
+
+def _breakdown(plan, num_devices):
+    cluster = make_cluster("stm32h743", num_devices)
+    assignment = ShardPlanner(cluster).plan_shards(plan).assignment()
+    return estimate_cluster_latency(plan, assignment, cluster)
+
+
+# ----------------------------------------------------------------------- spec
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError, match="at least one device"):
+        ClusterSpec(devices=())
+    with pytest.raises(ValueError, match="head_device"):
+        ClusterSpec(devices=(STM32H743,), head_device=3)
+    with pytest.raises(ValueError, match="count"):
+        ClusterSpec.homogeneous(STM32H743, 0)
+
+
+def test_cluster_registry_round_trip():
+    for name, cluster in CLUSTER_REGISTRY.items():
+        assert get_cluster(name) is cluster
+        assert cluster.num_devices >= 2
+    with pytest.raises(KeyError, match="unknown cluster"):
+        get_cluster("abacus_x9")
+
+
+def test_cache_key_reflects_identity():
+    a = make_cluster("stm32h743", 2)
+    b = make_cluster("stm32h743", 2)
+    c = make_cluster("stm32h743", 3)
+    assert a.cache_key == b.cache_key
+    assert a.cache_key != c.cache_key
+    hash(a.cache_key)  # must be usable as a dict key
+
+
+# -------------------------------------------------------------------- latency
+def test_single_device_cluster_matches_patch_latency_compute(mobilenet_plan):
+    """A 1-device cluster's stage+suffix must equal the single-MCU estimate."""
+    single = estimate_patch_based_latency(mobilenet_plan, STM32H743)
+    breakdown = _breakdown(mobilenet_plan, 1)
+    assert breakdown.transfer_seconds_per_device == [0.0]
+    assert breakdown.makespan_seconds == pytest.approx(single.total_seconds, rel=1e-12)
+
+
+def test_makespan_strictly_decreases_with_devices(mobilenet_plan):
+    makespans = [_breakdown(mobilenet_plan, n).makespan_seconds for n in (1, 2, 3, 4)]
+    assert all(a > b for a, b in zip(makespans, makespans[1:]))
+
+
+def test_head_device_pays_no_link_transfers(mobilenet_plan):
+    breakdown = _breakdown(mobilenet_plan, 3)
+    assert breakdown.transfer_seconds_per_device[0] == 0.0  # head
+    assert all(t > 0.0 for t in breakdown.transfer_seconds_per_device[1:])
+
+
+def test_assignment_size_must_match_cluster(mobilenet_plan):
+    cluster = make_cluster("stm32h743", 2)
+    with pytest.raises(ValueError, match="devices"):
+        estimate_cluster_latency(mobilenet_plan, [[0]], cluster)
+
+
+def test_serving_latency_amortizes_flash_and_overhead(mobilenet_plan):
+    cluster = make_cluster("stm32h743", 2)
+    assignment = ShardPlanner(cluster).plan_shards(mobilenet_plan).assignment()
+    one = estimate_cluster_serving_latency(mobilenet_plan, assignment, cluster, batch_size=1)
+    four = estimate_cluster_serving_latency(mobilenet_plan, assignment, cluster, batch_size=4)
+    # Per-sample cost must drop with batching (weights/overheads paid once).
+    assert four.makespan_seconds / 4 < one.makespan_seconds
+    # But total batch cost grows.
+    assert four.makespan_seconds > one.makespan_seconds
+    with pytest.raises(ValueError, match="batch_size"):
+        estimate_cluster_serving_latency(mobilenet_plan, assignment, cluster, batch_size=0)
+
+
+# ----------------------------------------------------------------- pipelining
+def test_pipelined_makespan_beats_serial_execution(mobilenet_plan):
+    breakdown = _breakdown(mobilenet_plan, 2)
+    serial = 4 * breakdown.makespan_seconds
+    pipelined = breakdown.pipelined_makespan_seconds(4)
+    assert pipelined < serial
+    assert pipelined >= breakdown.makespan_seconds
+    with pytest.raises(ValueError, match="num_microbatches"):
+        breakdown.pipelined_makespan_seconds(0)
+
+
+def test_pipeline_timeline_matches_closed_form(mobilenet_plan):
+    breakdown = _breakdown(mobilenet_plan, 2)
+    for num_microbatches in (1, 3, 7):
+        slots = pipeline_timeline(breakdown, num_microbatches)
+        assert len(slots) == 2 * num_microbatches
+        end = max(slot.end_seconds for slot in slots)
+        assert end == pytest.approx(
+            breakdown.pipelined_makespan_seconds(num_microbatches), rel=1e-12
+        )
+        # Phases never overlap on the same resource.
+        patch_slots = [s for s in slots if s.phase == "patch"]
+        suffix_slots = [s for s in slots if s.phase == "suffix"]
+        for a, b in zip(patch_slots, patch_slots[1:]):
+            assert b.start_seconds >= a.end_seconds
+        for a, b in zip(suffix_slots, suffix_slots[1:]):
+            assert b.start_seconds >= a.end_seconds
+        # A micro-batch's suffix starts only after its own patch stage.
+        for patch, suffix in zip(patch_slots, suffix_slots):
+            assert suffix.start_seconds >= patch.end_seconds
+    with pytest.raises(ValueError, match="num_microbatches"):
+        pipeline_timeline(breakdown, 0)

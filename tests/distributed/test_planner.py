@@ -1,0 +1,124 @@
+"""ShardPlanner: coverage, balance, SRAM accounting — plus property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from fixtures import property_cases, random_property_graph
+
+from repro.distributed import DistributedExecutor, ShardPlanner
+from repro.hardware import ClusterSpec, MCUDevice, make_cluster
+from repro.patch.analysis import branch_macs, patch_stage_macs, shard_halo_macs, shard_macs
+from repro.patch.plan import build_patch_plan
+from repro.quant.config import QuantizationConfig
+
+
+def _plan(graph, split, grid):
+    return build_patch_plan(graph, split, grid)
+
+
+def test_every_branch_assigned_exactly_once(residual_graph):
+    plan = _plan(residual_graph, "add", 2)
+    shard_plan = ShardPlanner(make_cluster("stm32h743", 3)).plan_shards(plan)
+    assert shard_plan.covered_branches == set(range(plan.num_branches))
+    assert sum(s.num_branches for s in shard_plan.shards) == plan.num_branches
+    shard_plan.validate()  # must not raise
+
+
+def test_shard_macs_sum_to_patch_stage_macs(tiny_mobilenet):
+    plan = _plan(tiny_mobilenet, _first_split(tiny_mobilenet), 4)
+    shard_plan = ShardPlanner(make_cluster("stm32h743", 4)).plan_shards(plan)
+    assert sum(s.macs for s in shard_plan.shards) == patch_stage_macs(plan)
+
+
+def test_lpt_balances_load(tiny_mobilenet):
+    """The bottleneck shard must stay close to the ideal per-device share."""
+    plan = _plan(tiny_mobilenet, _first_split(tiny_mobilenet), 4)
+    cluster = make_cluster("stm32h743", 4)
+    shard_plan = ShardPlanner(cluster).plan_shards(plan)
+    total = patch_stage_macs(plan)
+    heaviest_branch = max(branch_macs(plan, b) for b in plan.branches)
+    # Classic LPT bound: makespan <= ideal + largest item.
+    assert shard_plan.max_shard_macs <= total / cluster.num_devices + heaviest_branch
+
+
+def test_halo_accounting_is_nonnegative_and_additive(tiny_mobilenet):
+    plan = _plan(tiny_mobilenet, _first_split(tiny_mobilenet), 2)
+    all_ids = list(range(plan.num_branches))
+    assert shard_macs(plan, all_ids) == patch_stage_macs(plan)
+    assert shard_halo_macs(plan, all_ids) >= 0
+    for branch in plan.branches:
+        assert shard_halo_macs(plan, [branch.patch_id]) >= 0
+
+
+def test_infeasible_budget_is_reported_not_fatal(residual_graph):
+    plan = _plan(residual_graph, "add", 2)
+    starved = MCUDevice(
+        name="starved", core="m0", clock_hz=1e6, sram_bytes=16, flash_bytes=1024
+    )
+    shard_plan = ShardPlanner(ClusterSpec.homogeneous(starved, 2)).plan_shards(plan)
+    assert not shard_plan.fits_budget  # reported ...
+    assert shard_plan.covered_branches == set(range(plan.num_branches))  # ... but planned
+
+
+def test_shard_plan_for_wrong_plan_rejected(residual_graph, tiny_mobilenet):
+    plan_a = _plan(residual_graph, "add", 2)
+    plan_b = _plan(tiny_mobilenet, _first_split(tiny_mobilenet), 2)
+    shard_plan = ShardPlanner(make_cluster("stm32h743", 2)).plan_shards(plan_a)
+    with pytest.raises(ValueError, match="different patch plan"):
+        DistributedExecutor(plan_b, shard_plan=shard_plan)
+
+
+def _first_split(graph):
+    from repro.patch.scheduler import candidate_split_nodes
+
+    return candidate_split_nodes(graph)[0]
+
+
+# ------------------------------------------------------------------ properties
+@property_cases(max_examples=15)
+def test_property_shard_plans_cover_every_patch_exactly_once(seed):
+    """For random graphs/grids/clusters: exact cover, conserved MACs."""
+    rng = np.random.default_rng(seed)
+    graph = random_property_graph(rng)
+    from repro.patch.scheduler import candidate_split_nodes
+
+    split = str(rng.choice(candidate_split_nodes(graph)))
+    grid = int(rng.integers(1, 4))
+    plan = build_patch_plan(graph, split, grid)
+    num_devices = int(rng.integers(1, 6))
+    cluster = make_cluster("arduino_nano_33_ble", num_devices)
+    shard_plan = ShardPlanner(cluster).plan_shards(plan)
+
+    shard_plan.validate()
+    assert shard_plan.covered_branches == set(range(plan.num_branches))
+    counts = [b for s in shard_plan.shards for b in s.branch_ids]
+    assert len(counts) == len(set(counts)) == plan.num_branches
+    assert sum(s.macs for s in shard_plan.shards) == patch_stage_macs(plan)
+
+
+@property_cases(max_examples=15)
+def test_property_shard_plans_respect_sram_when_budget_is_ample(seed):
+    """With a budget that provably fits (>= single-device patch peak), the
+    planner must produce an all-feasible plan and report it as fitting."""
+    rng = np.random.default_rng(seed)
+    graph = random_property_graph(rng)
+    from repro.patch.analysis import patch_peak_bytes
+    from repro.patch.scheduler import candidate_split_nodes
+
+    split = str(rng.choice(candidate_split_nodes(graph)))
+    grid = int(rng.integers(1, 4))
+    plan = build_patch_plan(graph, split, grid)
+    config = QuantizationConfig.uniform(8)
+    ample = 2 * patch_peak_bytes(plan, config) + 4096
+    roomy = MCUDevice(
+        name="roomy", core="m7", clock_hz=1e8, sram_bytes=ample, flash_bytes=1 << 22
+    )
+    num_devices = int(rng.integers(1, 5))
+    shard_plan = ShardPlanner(
+        ClusterSpec.homogeneous(roomy, num_devices), config=config
+    ).plan_shards(plan)
+    assert shard_plan.fits_budget
+    for shard in shard_plan.shards:
+        assert shard.peak_bytes <= shard.sram_budget_bytes

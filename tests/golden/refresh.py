@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in golden fingerprints.
+
+Usage (from the repository root)::
+
+    python tests/golden/refresh.py            # refresh every case
+    python tests/golden/refresh.py mcunet     # refresh one case
+
+Only run this after an *intentional* numeric or schedule change, and commit
+the refreshed JSON in the same change so the diff documents what moved.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from golden_cases import CASES, write_case  # noqa: E402  (sys.path set up there)
+
+
+def main(argv: list[str]) -> int:
+    names = argv or sorted(CASES)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        print(f"unknown case(s) {unknown}; available: {sorted(CASES)}", file=sys.stderr)
+        return 2
+    for name in names:
+        path = write_case(name)
+        print(f"refreshed {path.relative_to(path.parent.parent.parent)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

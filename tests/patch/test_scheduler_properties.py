@@ -1,0 +1,73 @@
+"""Property-based tests for the patch-schedule search.
+
+Invariants checked on randomized graphs/budgets (hypothesis when installed,
+fixed-seed sweep otherwise):
+
+* every plan the search returns tiles the split feature map exactly — each
+  split position is covered by exactly one branch's output tile;
+* ``fits_budget`` is truthful: a fitting plan's peak memory respects the
+  budget, and when the search claims nothing fits, no candidate plan fits;
+* with an unlimited budget the search always reports a feasible plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from fixtures import property_cases, random_property_graph
+
+from repro.patch.analysis import patch_peak_bytes
+from repro.patch.plan import PatchPlan, build_patch_plan
+from repro.patch.scheduler import candidate_split_nodes, find_patch_schedule
+from repro.quant.config import QuantizationConfig
+
+
+def _assert_exact_tiling(plan: PatchPlan) -> None:
+    """Branch output tiles must partition the split feature map exactly."""
+    _, h, w = plan.graph.shapes()[plan.split_output_node]
+    coverage = np.zeros((h, w), dtype=np.int32)
+    for branch in plan.branches:
+        tile = branch.output_region
+        coverage[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] += 1
+    assert np.all(coverage == 1), "split feature map not tiled exactly once"
+
+
+@property_cases(max_examples=15)
+def test_property_schedule_plans_tile_exactly_once(seed):
+    rng = np.random.default_rng(seed)
+    graph = random_property_graph(rng)
+    budget = int(rng.integers(256, 256 * 1024))
+    result = find_patch_schedule(graph, budget)
+    _assert_exact_tiling(result.plan)
+    assert result.plan.num_branches == result.plan.num_patches**2
+    assert result.redundant_macs >= 0
+
+
+@property_cases(max_examples=15)
+def test_property_fits_budget_is_truthful(seed):
+    """The search's feasibility claim must match the analytic peak memory."""
+    rng = np.random.default_rng(seed)
+    graph = random_property_graph(rng)
+    budget = int(rng.integers(256, 256 * 1024))
+    config = QuantizationConfig.uniform(8)
+    result = find_patch_schedule(graph, budget, config=config)
+    peak = patch_peak_bytes(result.plan, config)
+    assert result.peak_memory_bytes == peak
+    assert result.fits_budget == (peak <= budget)
+    if not result.fits_budget:
+        # The search only reports infeasibility when *no* candidate fits.
+        for split in candidate_split_nodes(graph):
+            for grid in (2, 3, 4):
+                try:
+                    plan = build_patch_plan(graph, split, grid)
+                except ValueError:
+                    continue
+                assert patch_peak_bytes(plan, config) > budget
+
+
+@property_cases(max_examples=10)
+def test_property_unlimited_budget_is_always_feasible(seed):
+    rng = np.random.default_rng(seed)
+    graph = random_property_graph(rng)
+    result = find_patch_schedule(graph, sram_budget_bytes=1 << 40)
+    assert result.fits_budget

@@ -5,22 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from fixtures import MOBILENET_SPEC as SPEC
+
 from repro.core import QuantMCUPipeline
-from repro.serving import CompiledPipeline, ModelSpec, compile_pipeline
+from repro.serving import CompiledPipeline, compile_pipeline
 
 
-@pytest.fixture
-def quantized(tiny_mobilenet, rng):
-    calib = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
-    pipeline = QuantMCUPipeline(tiny_mobilenet, sram_limit_bytes=64 * 1024, num_patches=2)
-    return pipeline, pipeline.run(calib)
-
-
-SPEC = ModelSpec("mobilenetv2", 32, 4, 0.35, 3)
-
-
-def test_compiled_matches_experiment_executor(quantized, rng):
-    pipeline, result = quantized
+def test_compiled_matches_experiment_executor(quantized_mobilenet, rng):
+    pipeline, result = quantized_mobilenet
     compiled = compile_pipeline(pipeline, result, spec=SPEC)
     x = rng.standard_normal((3, 3, 32, 32)).astype(np.float32)
     with pipeline.quantized_weights():
@@ -30,9 +22,9 @@ def test_compiled_matches_experiment_executor(quantized, rng):
     compiled.close()
 
 
-def test_compiled_is_isolated_from_source_model(quantized, rng):
+def test_compiled_is_isolated_from_source_model(quantized_mobilenet, rng):
     """Mutating the original model after compile must not change the artifact."""
-    pipeline, result = quantized
+    pipeline, result = quantized_mobilenet
     compiled = compile_pipeline(pipeline, result, spec=SPEC)
     x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
     before = compiled.infer(x)
@@ -42,15 +34,15 @@ def test_compiled_is_isolated_from_source_model(quantized, rng):
     assert np.array_equal(compiled.infer(x), before)
 
 
-def test_compiled_weights_are_read_only(quantized):
-    pipeline, result = quantized
+def test_compiled_weights_are_read_only(quantized_mobilenet):
+    pipeline, result = quantized_mobilenet
     compiled = compile_pipeline(pipeline, result, spec=SPEC)
     for _, _, arr in compiled.graph.parameters():
         assert not arr.flags.writeable
 
 
-def test_save_load_round_trip(quantized, rng, tmp_path):
-    pipeline, result = quantized
+def test_save_load_round_trip(quantized_mobilenet, rng, tmp_path):
+    pipeline, result = quantized_mobilenet
     compiled = compile_pipeline(pipeline, result, spec=SPEC)
     path = str(tmp_path / "artifact.npz")
     compiled.save(path)
@@ -61,15 +53,15 @@ def test_save_load_round_trip(quantized, rng, tmp_path):
     assert restored.cache_key == compiled.cache_key
 
 
-def test_save_requires_spec(quantized):
-    pipeline, result = quantized
+def test_save_requires_spec(quantized_mobilenet):
+    pipeline, result = quantized_mobilenet
     compiled = compile_pipeline(pipeline, result)
     with pytest.raises(ValueError, match="ModelSpec"):
         compiled.save("/tmp/never-written.npz")
 
 
-def test_fingerprint_distinguishes_weights(quantized, rng, tmp_path):
-    pipeline, result = quantized
+def test_fingerprint_distinguishes_weights(quantized_mobilenet, rng, tmp_path):
+    pipeline, result = quantized_mobilenet
     a = compile_pipeline(pipeline, result, spec=SPEC)
     node, pname, arr = pipeline.graph.parameters()[0]
     pipeline.graph.nodes[node].layer.params[pname] = arr + 0.5

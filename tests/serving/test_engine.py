@@ -12,20 +12,9 @@ from repro.core import QuantMCUPipeline
 from repro.serving import (
     EngineClosed,
     InferenceEngine,
-    ModelSpec,
     PipelineCache,
     compile_pipeline,
 )
-
-
-@pytest.fixture
-def compiled(tiny_mobilenet, rng):
-    calib = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
-    pipeline = QuantMCUPipeline(tiny_mobilenet, sram_limit_bytes=64 * 1024, num_patches=2)
-    result = pipeline.run(calib)
-    cp = compile_pipeline(pipeline, result, spec=ModelSpec("mobilenetv2", 32, 4, 0.35, 3))
-    yield cp
-    cp.close()
 
 
 # A sample's result does not depend on which other samples share its batch,
@@ -35,29 +24,29 @@ def compiled(tiny_mobilenet, rng):
 BATCH_SIZE_TOL = dict(rtol=1e-4, atol=5e-2)
 
 
-def test_results_match_direct_inference(compiled, rng):
+def test_results_match_direct_inference(compiled_mobilenet, rng):
     x = rng.standard_normal((6, 3, 32, 32)).astype(np.float32)
-    direct = compiled.infer(x)
-    with InferenceEngine(compiled, max_batch_size=4, batch_timeout_s=0.002) as engine:
+    direct = compiled_mobilenet.infer(x)
+    with InferenceEngine(compiled_mobilenet, max_batch_size=4, batch_timeout_s=0.002) as engine:
         futures = [engine.submit(x[i]) for i in range(6)]
         outputs = [f.result(timeout=30) for f in futures]
     for i, out in enumerate(outputs):
         assert np.allclose(out, direct[i], **BATCH_SIZE_TOL)
 
 
-def test_single_mini_batch_request_is_bit_exact(compiled, rng):
+def test_single_mini_batch_request_is_bit_exact(compiled_mobilenet, rng):
     """A request served alone runs the exact same batch as direct inference."""
     x = rng.standard_normal((5, 3, 32, 32)).astype(np.float32)
-    direct = compiled.infer(x)
-    with InferenceEngine(compiled, max_batch_size=5, batch_timeout_s=10.0) as engine:
+    direct = compiled_mobilenet.infer(x)
+    with InferenceEngine(compiled_mobilenet, max_batch_size=5, batch_timeout_s=10.0) as engine:
         out = engine.infer(x)
     assert np.array_equal(out, direct)
 
 
-def test_flush_on_max_batch_size(compiled, rng):
+def test_flush_on_max_batch_size(compiled_mobilenet, rng):
     """A full batch must flush without waiting for the timeout."""
     x = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
-    with InferenceEngine(compiled, max_batch_size=4, batch_timeout_s=60.0) as engine:
+    with InferenceEngine(compiled_mobilenet, max_batch_size=4, batch_timeout_s=60.0) as engine:
         futures = [engine.submit(x[i]) for i in range(4)]
         for f in futures:
             f.result(timeout=30)  # would block for 60s if only timeout flushed
@@ -65,34 +54,34 @@ def test_flush_on_max_batch_size(compiled, rng):
     assert histogram.get(4, 0) >= 1
 
 
-def test_flush_on_timeout(compiled, rng):
+def test_flush_on_timeout(compiled_mobilenet, rng):
     """A lone request must complete after batch_timeout_s, not wait for a full batch."""
     x = rng.standard_normal((3, 32, 32)).astype(np.float32)
-    with InferenceEngine(compiled, max_batch_size=64, batch_timeout_s=0.02) as engine:
+    with InferenceEngine(compiled_mobilenet, max_batch_size=64, batch_timeout_s=0.02) as engine:
         start = time.perf_counter()
         out = engine.submit(x).result(timeout=30)
         elapsed = time.perf_counter() - start
-    assert out.shape == compiled.graph.output_shape()
+    assert out.shape == compiled_mobilenet.graph.output_shape()
     # generous bound: service time dominates, but it must not be the 64-batch wait
     assert elapsed < 25
     assert engine.telemetry.snapshot().batch_size_histogram.get(1, 0) >= 1
 
 
-def test_mini_batch_requests_and_shape_validation(compiled, rng):
+def test_mini_batch_requests_and_shape_validation(compiled_mobilenet, rng):
     x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
-    with InferenceEngine(compiled, max_batch_size=8, batch_timeout_s=0.002) as engine:
+    with InferenceEngine(compiled_mobilenet, max_batch_size=8, batch_timeout_s=0.002) as engine:
         out = engine.infer(x)
         assert out.shape[0] == 2
         with pytest.raises(ValueError, match="does not match"):
             engine.submit(rng.standard_normal((3, 16, 16)).astype(np.float32))
 
 
-def test_concurrent_clients(compiled, rng):
+def test_concurrent_clients(compiled_mobilenet, rng):
     x = rng.standard_normal((8, 3, 32, 32)).astype(np.float32)
-    direct = compiled.infer(x)
+    direct = compiled_mobilenet.infer(x)
     errors: list[Exception] = []
 
-    with InferenceEngine(compiled, max_batch_size=4, batch_timeout_s=0.002) as engine:
+    with InferenceEngine(compiled_mobilenet, max_batch_size=4, batch_timeout_s=0.002) as engine:
 
         def client(i: int) -> None:
             try:
@@ -111,20 +100,20 @@ def test_concurrent_clients(compiled, rng):
     assert engine.telemetry.snapshot().num_requests == 24
 
 
-def test_cancelled_request_does_not_kill_the_batcher(compiled, rng):
+def test_cancelled_request_does_not_kill_the_batcher(compiled_mobilenet, rng):
     """A Future cancelled while queued is dropped; later requests still serve."""
     x = rng.standard_normal((3, 32, 32)).astype(np.float32)
-    with InferenceEngine(compiled, max_batch_size=64, batch_timeout_s=0.05) as engine:
+    with InferenceEngine(compiled_mobilenet, max_batch_size=64, batch_timeout_s=0.05) as engine:
         doomed = engine.submit(x)
         assert doomed.cancel()
         out = engine.submit(x).result(timeout=30)  # batcher must still be alive
-    assert out.shape == compiled.graph.output_shape()
+    assert out.shape == compiled_mobilenet.graph.output_shape()
     assert doomed.cancelled()
     assert engine.telemetry.snapshot().num_requests == 1
 
 
-def test_submit_after_close_raises(compiled, rng):
-    engine = InferenceEngine(compiled, batch_timeout_s=0.001)
+def test_submit_after_close_raises(compiled_mobilenet, rng):
+    engine = InferenceEngine(compiled_mobilenet, batch_timeout_s=0.001)
     engine.close()
     with pytest.raises(EngineClosed):
         engine.submit(rng.standard_normal((3, 32, 32)).astype(np.float32))
@@ -168,13 +157,81 @@ def test_engine_requires_key_for_multi_model_cache(tiny_mobilenet, rng):
         engine.close()
 
 
-def test_modelled_device_latency_recorded(compiled, rng):
+def test_modelled_device_latency_recorded(compiled_mobilenet, rng):
     from repro.hardware import ARDUINO_NANO_33_BLE
 
     x = rng.standard_normal((3, 32, 32)).astype(np.float32)
     with InferenceEngine(
-        compiled, max_batch_size=2, batch_timeout_s=0.002, device=ARDUINO_NANO_33_BLE
+        compiled_mobilenet, max_batch_size=2, batch_timeout_s=0.002, device=ARDUINO_NANO_33_BLE
     ) as engine:
         engine.infer(x)
     snap = engine.telemetry.snapshot()
     assert snap.mean_modelled_device_ms > 0
+
+
+def test_zero_timeout_flushes_immediately(compiled_mobilenet, rng):
+    """batch_timeout_s=0 degrades gracefully to flush-per-drain, not a busy hang."""
+    x = rng.standard_normal((3, 32, 32)).astype(np.float32)
+    with InferenceEngine(compiled_mobilenet, max_batch_size=64, batch_timeout_s=0.0) as engine:
+        outputs = [engine.submit(x).result(timeout=30) for _ in range(3)]
+    for out in outputs:
+        assert out.shape == compiled_mobilenet.graph.output_shape()
+    snap = engine.telemetry.snapshot()
+    assert snap.num_requests == 3
+    # Each request was awaited before the next was submitted, so a correct
+    # zero-timeout engine flushes each alone; a regression that treats 0 as
+    # "wait for a full batch" would instead hang until the result() timeout.
+    assert snap.batch_size_histogram == {1: 3}
+
+
+def test_close_is_idempotent_and_blocks_all_submission_paths(compiled_mobilenet, rng):
+    engine = InferenceEngine(compiled_mobilenet, batch_timeout_s=0.001)
+    engine.close()
+    engine.close()  # second close must be a no-op, not an error
+    x = rng.standard_normal((3, 32, 32)).astype(np.float32)
+    with pytest.raises(EngineClosed):
+        engine.submit(x)
+    with pytest.raises(EngineClosed):
+        engine.infer(x)  # the blocking wrapper goes through the same gate
+
+
+def test_mixed_key_batching_never_mixes_deployments(tiny_mobilenet, rng):
+    """Requests for different deployment keys must never share a micro-batch.
+
+    Each compiled pipeline's ``infer`` is wrapped to assert every row of every
+    batch it serves carries that deployment's marker sign; interleaved
+    submission under a batch size large enough to fit all requests would
+    surface any cross-key mixing.
+    """
+    calib = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+    served: list[tuple[tuple, int]] = []
+
+    def factory(key):
+        pipeline = QuantMCUPipeline(
+            tiny_mobilenet, sram_limit_bytes=64 * 1024, num_patches=2, weight_bits=key[1]
+        )
+        compiled = compile_pipeline(pipeline, pipeline.run(calib))
+        marker = 1.0 if key[1] == 8 else -1.0
+        original = compiled.infer
+
+        def recording_infer(x, *args, _marker=marker, _original=original, _key=key, **kwargs):
+            assert np.all(np.sign(x[:, 0, 0, 0]) == _marker), "batch mixes deployments"
+            served.append((_key, x.shape[0]))
+            return _original(x, *args, **kwargs)
+
+        compiled.infer = recording_infer
+        return compiled
+
+    cache = PipelineCache(factory, capacity=2)
+    eight_bit = np.abs(rng.standard_normal((3, 3, 32, 32))).astype(np.float32) + 0.01
+    four_bit = -np.abs(rng.standard_normal((3, 3, 32, 32))).astype(np.float32) - 0.01
+    with InferenceEngine(cache, max_batch_size=6, batch_timeout_s=0.05) as engine:
+        futures = []
+        for i in range(3):  # interleave the two deployments
+            futures.append(engine.submit(eight_bit[i], key=("mobilenetv2", 8)))
+            futures.append(engine.submit(four_bit[i], key=("mobilenetv2", 4)))
+        for future in futures:
+            future.result(timeout=30)
+
+    assert sum(n for key, n in served if key == ("mobilenetv2", 8)) == 3
+    assert sum(n for key, n in served if key == ("mobilenetv2", 4)) == 3

@@ -5,8 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from fixtures import quantize_zoo_model
+
 from repro.core import QuantMCUPipeline
-from repro.models import build_model
 from repro.patch import PatchExecutor, build_patch_plan
 from repro.serving import ParallelPatchExecutor, default_worker_count
 
@@ -36,10 +37,7 @@ def test_default_worker_count_bounds(residual_graph):
 def test_quantized_parallel_bit_identical_on_zoo_models(model_name, resolution, rng):
     """Acceptance: parallel serving output == sequential PatchExecutor output,
     under the full QuantMCU quantization, on two zoo models."""
-    model = build_model(model_name, resolution=resolution, num_classes=4, width_mult=0.35, seed=3)
-    calib = rng.standard_normal((4, 3, resolution, resolution)).astype(np.float32)
-    pipeline = QuantMCUPipeline(model, sram_limit_bytes=64 * 1024, num_patches=2)
-    result = pipeline.run(calib)
+    _, pipeline, result = quantize_zoo_model(model_name=model_name, resolution=resolution)
 
     branch_hook, suffix_hook = pipeline.make_hooks(result)
     x = rng.standard_normal((3, 3, resolution, resolution)).astype(np.float32)
