@@ -23,6 +23,7 @@ from . import (
     patch,
     quant,
     serving,
+    streaming,
 )
 from .core import QuantMCUPipeline, QuantMCUResult, run_vdqs_whole_model
 from .distributed import DistributedExecutor, ShardPlanner
@@ -30,6 +31,7 @@ from .hardware import ARDUINO_NANO_33_BLE, STM32H743, ClusterSpec, MCUDevice, ge
 from .models import available_models, build_model
 from .quant import FeatureMapIndex, QuantizationConfig
 from .serving import CompiledPipeline, InferenceEngine, ModelSpec, compile_pipeline
+from .streaming import StreamSession
 
 __version__ = "1.0.0"
 
@@ -46,6 +48,8 @@ __all__ = [
     "distributed",
     "experiments",
     "serving",
+    "streaming",
+    "StreamSession",
     "DistributedExecutor",
     "ShardPlanner",
     "ClusterSpec",

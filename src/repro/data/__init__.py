@@ -10,13 +10,22 @@ from .metrics import (
     top5_accuracy,
     top_k_accuracy,
 )
-from .synthetic import ClassificationDataset, DetectionDataset, SyntheticImageNet, SyntheticVOC
+from .synthetic import (
+    ClassificationDataset,
+    DetectionDataset,
+    SyntheticImageNet,
+    SyntheticVOC,
+    SyntheticVideo,
+    VideoStream,
+)
 
 __all__ = [
     "ClassificationDataset",
     "DetectionDataset",
     "SyntheticImageNet",
     "SyntheticVOC",
+    "SyntheticVideo",
+    "VideoStream",
     "top_k_accuracy",
     "top1_accuracy",
     "top5_accuracy",

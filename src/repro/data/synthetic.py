@@ -20,7 +20,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ClassificationDataset", "DetectionDataset", "SyntheticImageNet", "SyntheticVOC"]
+__all__ = [
+    "ClassificationDataset",
+    "DetectionDataset",
+    "SyntheticImageNet",
+    "SyntheticVOC",
+    "VideoStream",
+    "SyntheticVideo",
+]
 
 
 @dataclass
@@ -98,6 +105,94 @@ class DetectionDataset:
 
     def __len__(self) -> int:
         return len(self.images)
+
+
+@dataclass
+class VideoStream:
+    """A synthetic video clip: frames plus per-frame object bounding boxes.
+
+    ``frames`` has shape ``(T, 3, resolution, resolution)``; ``boxes[t]`` is
+    the ``(row0, col0, row1, col1)`` box of the moving object in frame ``t``.
+    Every pixel outside the union of two consecutive frames' boxes is
+    *bit-identical* between those frames — the temporal redundancy streaming
+    inference exploits.
+    """
+
+    frames: np.ndarray
+    boxes: list[tuple[int, int, int, int]]
+    motion_fraction: float
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def resolution(self) -> int:
+        return self.frames.shape[-1]
+
+    def changed_fractions(self) -> list[float]:
+        """Per-transition fraction of pixels that differ from the previous frame."""
+        fractions = []
+        for prev, curr in zip(self.frames, self.frames[1:]):
+            changed = np.any(prev != curr, axis=0)
+            fractions.append(float(changed.mean()))
+        return fractions
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+
+def SyntheticVideo(
+    num_frames: int = 16,
+    resolution: int = 96,
+    motion_fraction: float = 0.3,
+    wander: int = 4,
+    step: int = 2,
+    class_id: int = 0,
+    num_classes: int = 10,
+    object_amplitude: float = 2.5,
+    seed: int = 0,
+) -> VideoStream:
+    """Generate a video of one object moving over a static background.
+
+    The background is generated once and shared by every frame; a single
+    textured object covering ``motion_fraction`` of the frame area performs a
+    random walk (``step`` pixels per frame) confined to the top-left corner of
+    the frame, within ``wander`` pixels of the origin.  All inter-frame change
+    is therefore confined to the union of consecutive object boxes — a
+    ``(side + wander)``-pixel corner square — and the rest of the frame is
+    exactly static, which is what lets a patch-granular differ prove most
+    branches clean.  Set ``wander`` to ``resolution - side`` to let the object
+    roam the whole frame instead.  Deterministic given ``seed``.
+    """
+    if num_frames < 1:
+        raise ValueError("num_frames must be >= 1")
+    if not 0.0 < motion_fraction <= 1.0:
+        raise ValueError("motion_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    background = _background(rng, resolution)
+    side = max(4, min(resolution, int(round(np.sqrt(motion_fraction) * resolution))))
+    texture = _object_texture(rng, class_id, num_classes, side, object_amplitude)
+    max_offset = min(max(wander, 0), resolution - side)
+
+    frames = []
+    boxes: list[tuple[int, int, int, int]] = []
+    row, col = 0, 0
+    for _ in range(num_frames):
+        frame = background.copy()
+        frame[:, row : row + side, col : col + side] += texture
+        frames.append(frame)
+        boxes.append((row, col, row + side, col + side))
+        row = int(np.clip(row + rng.integers(-step, step + 1), 0, max_offset))
+        col = int(np.clip(col + rng.integers(-step, step + 1), 0, max_offset))
+    return VideoStream(
+        frames=np.stack(frames).astype(np.float32),
+        boxes=boxes,
+        motion_fraction=motion_fraction,
+    )
 
 
 def _background(rng: np.random.Generator, resolution: int) -> np.ndarray:

@@ -127,6 +127,26 @@ class DistributedExecutor(PatchExecutor):
             return super()._run_patch_stage(x)
         return self._stitch(x, self._submit_patch_stage(x))
 
+    def compute_tiles(self, x: np.ndarray, branch_ids: list[int]):
+        """Run only ``branch_ids``, each on the device its shard plan assigns.
+
+        Streaming reuse is per-shard: every device receives just its own
+        dirty branches, and a device whose shard is entirely clean does no
+        work for the frame (its empty submission resolves without waking the
+        worker thread).  Tiles come back in the same ``(branch, tile)`` shape
+        as the full patch stage, so assignment cannot affect the result.
+        """
+        if self.num_devices <= 1:
+            return super().compute_tiles(x, branch_ids)
+        wanted = set(branch_ids)
+        futures = [
+            worker.submit_branches(
+                x, [branch for branch in worker.branches if branch.patch_id in wanted]
+            )
+            for worker in self._ensure_workers()
+        ]
+        return [pair for future in futures for pair in future.result()]
+
     # -------------------------------------------------------------- modelling
     def modelled_latency(
         self,

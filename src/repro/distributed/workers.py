@@ -64,9 +64,6 @@ class DeviceShard:
             self._pool = None
 
     # ------------------------------------------------------------ execution
-    def _run_shard(self, x: np.ndarray) -> list[tuple[BranchPlan, np.ndarray]]:
-        return [(branch, self._run_branch(branch, x)) for branch in self.branches]
-
     def submit_patch_stage(self, x: np.ndarray) -> "Future[list[tuple[BranchPlan, np.ndarray]]]":
         """Run this device's shard on ``x`` asynchronously.
 
@@ -75,11 +72,25 @@ class DeviceShard:
         run serially on the device's single executor thread; an empty shard
         resolves immediately.
         """
-        if not self.branches:
+        return self.submit_branches(x, self.branches)
+
+    def submit_branches(
+        self, x: np.ndarray, branches: list[BranchPlan]
+    ) -> "Future[list[tuple[BranchPlan, np.ndarray]]]":
+        """Run only ``branches`` (a subset of this device's shard) on ``x``.
+
+        The partial-recompute path of streaming inference: a device whose
+        shard contains no dirty branch is never woken (an empty list resolves
+        immediately without touching the worker thread), so per-frame work
+        lands only on the devices that own invalidated patches.
+        """
+        if not branches:
             future: Future = Future()
             future.set_result([])
             return future
-        return self._ensure_pool().submit(self._run_shard, x)
+        return self._ensure_pool().submit(
+            lambda: [(branch, self._run_branch(branch, x)) for branch in branches]
+        )
 
     def __enter__(self) -> "DeviceShard":
         return self

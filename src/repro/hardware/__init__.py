@@ -6,6 +6,7 @@ from .cluster import (
     ClusterSpec,
     estimate_cluster_latency,
     estimate_cluster_serving_latency,
+    estimate_cluster_streaming_latency,
     get_cluster,
     make_cluster,
 )
@@ -17,6 +18,8 @@ from .latency import (
     estimate_layer_based_latency,
     estimate_patch_based_latency,
     estimate_serving_latency,
+    estimate_streaming_latency,
+    estimate_streaming_speedup,
     suffix_op_costs,
 )
 from .sram import AllocationError, BufferLifetime, SRAMAllocator, check_schedule_fits
@@ -34,6 +37,7 @@ __all__ = [
     "get_cluster",
     "estimate_cluster_latency",
     "estimate_cluster_serving_latency",
+    "estimate_cluster_streaming_latency",
     "OpCost",
     "LatencyBreakdown",
     "branch_op_costs",
@@ -41,6 +45,8 @@ __all__ = [
     "estimate_layer_based_latency",
     "estimate_patch_based_latency",
     "estimate_serving_latency",
+    "estimate_streaming_latency",
+    "estimate_streaming_speedup",
     "SRAMAllocator",
     "AllocationError",
     "BufferLifetime",

@@ -43,6 +43,7 @@ __all__ = [
     "CLUSTER_REGISTRY",
     "estimate_cluster_latency",
     "estimate_cluster_serving_latency",
+    "estimate_cluster_streaming_latency",
 ]
 
 
@@ -271,6 +272,28 @@ def estimate_cluster_latency(
         transfer_seconds_per_device=transfers,
         suffix=suffix,
     )
+
+
+def estimate_cluster_streaming_latency(
+    plan: PatchPlan,
+    assignment: list[list[int]],
+    cluster: ClusterSpec,
+    dirty_branch_ids: list[int],
+    config: QuantizationConfig | None = None,
+    branch_configs: list[QuantizationConfig] | None = None,
+) -> ClusterLatencyBreakdown:
+    """Cluster latency of one incremental streaming frame under ``assignment``.
+
+    Streaming reuse composes with sharding per device: each device recomputes
+    only the dirty branches *it owns*, so a device whose shard is entirely
+    clean contributes zero compute and zero link traffic for the frame — the
+    patch-stage makespan is the slowest *dirty* shard.  The head still runs
+    the full suffix (it reads the whole stitched split feature map), exactly
+    as in :func:`~repro.hardware.latency.estimate_streaming_latency`.
+    """
+    dirty = set(dirty_branch_ids)
+    filtered = [[b for b in branch_ids if b in dirty] for branch_ids in assignment]
+    return estimate_cluster_latency(plan, filtered, cluster, config, branch_configs)
 
 
 def estimate_cluster_serving_latency(

@@ -24,6 +24,7 @@ term.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..patch.analysis import macs_for_region
@@ -41,6 +42,8 @@ __all__ = [
     "estimate_layer_based_latency",
     "estimate_patch_based_latency",
     "estimate_serving_latency",
+    "estimate_streaming_latency",
+    "estimate_streaming_speedup",
 ]
 
 
@@ -221,6 +224,71 @@ def estimate_patch_based_latency(
         ops.extend(branch_op_costs(plan, branch_idx, branch_config))
     ops.extend(suffix_op_costs(plan, config))
     return _accumulate(ops, device, num_ops_overhead=len(ops), num_branches=plan.num_branches)
+
+
+def estimate_streaming_latency(
+    plan: PatchPlan,
+    device: MCUDevice,
+    dirty_branch_ids: list[int],
+    config: QuantizationConfig | None = None,
+    branch_configs: list[QuantizationConfig] | None = None,
+) -> LatencyBreakdown:
+    """Latency of one incremental streaming frame recomputing only the dirty branches.
+
+    Clean branches cost nothing — no compute, no SRAM traffic for their
+    working set, no per-branch launch overhead, and no weight streaming for
+    operators that run in no dirty branch.  The suffix always executes (it
+    reads the whole stitched split feature map), which is why the modelled
+    speedup saturates as motion approaches zero instead of diverging.
+    """
+    config = config if config is not None else QuantizationConfig.uniform(8)
+    dirty = sorted(set(dirty_branch_ids))
+    if not all(0 <= b < plan.num_branches for b in dirty):
+        raise ValueError(f"dirty branch ids {dirty} out of range for {plan.num_branches} branches")
+    ops: list[OpCost] = []
+    for branch_id in dirty:
+        branch_config = config
+        if branch_configs is not None and branch_id < len(branch_configs):
+            branch_config = branch_configs[branch_id]
+        ops.extend(branch_op_costs(plan, branch_id, branch_config))
+    ops.extend(suffix_op_costs(plan, config))
+    return _accumulate(ops, device, num_ops_overhead=len(ops), num_branches=len(dirty))
+
+
+def estimate_streaming_speedup(
+    plan: PatchPlan,
+    device: MCUDevice,
+    motion_fraction: float,
+    config: QuantizationConfig | None = None,
+    branch_configs: list[QuantizationConfig] | None = None,
+) -> float:
+    """Modelled full-recompute / partial-recompute speedup at a motion level.
+
+    ``motion_fraction`` is the fraction of patches invalidated per frame.  The
+    dirty set is chosen pessimistically — the ``ceil(motion_fraction * n)``
+    branches with the highest *modelled* cost under their own quantization
+    configs (raw MACs would mis-rank when per-branch bitwidths differ) — so,
+    the partial-frame cost being additive over dirty branches, the returned
+    speedup is a lower bound for any concrete dirty set of that size.  1.0 at
+    full motion; bounded by the suffix share as motion approaches zero.
+    """
+    if not 0.0 <= motion_fraction <= 1.0:
+        raise ValueError("motion_fraction must be in [0, 1]")
+    config = config if config is not None else QuantizationConfig.uniform(8)
+    num_dirty = math.ceil(motion_fraction * plan.num_branches) if motion_fraction else 0
+
+    def branch_seconds(branch_id: int) -> float:
+        branch_config = config
+        if branch_configs is not None and branch_id < len(branch_configs):
+            branch_config = branch_configs[branch_id]
+        ops = branch_op_costs(plan, branch_id, branch_config)
+        return _accumulate(ops, device, num_ops_overhead=len(ops), num_branches=1).total_seconds
+
+    by_cost = sorted(range(plan.num_branches), key=lambda b: (-branch_seconds(b), b))
+    dirty = by_cost[:num_dirty]
+    full = estimate_patch_based_latency(plan, device, config, branch_configs)
+    partial = estimate_streaming_latency(plan, device, dirty, config, branch_configs)
+    return full.total_seconds / partial.total_seconds
 
 
 def estimate_serving_latency(

@@ -3,7 +3,10 @@ exact patch execution and schedule search."""
 
 from .analysis import (
     PatchCostReport,
+    StreamingCostReport,
     analyze_plan,
+    analyze_streaming,
+    incremental_stage_macs,
     branch_bitops,
     branch_macs,
     branch_peak_bytes,
@@ -40,6 +43,9 @@ __all__ = [
     "patch_peak_bytes",
     "PatchCostReport",
     "analyze_plan",
+    "incremental_stage_macs",
+    "StreamingCostReport",
+    "analyze_streaming",
     "PatchExecutor",
     "PatchScheduleResult",
     "candidate_split_nodes",

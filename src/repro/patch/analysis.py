@@ -37,6 +37,9 @@ __all__ = [
     "shard_macs",
     "shard_halo_macs",
     "shard_peak_bytes",
+    "incremental_stage_macs",
+    "StreamingCostReport",
+    "analyze_streaming",
     "PatchCostReport",
     "analyze_plan",
 ]
@@ -260,6 +263,55 @@ def shard_peak_bytes(
         for i in branch_ids
     )
     return tile_bytes + branch_working
+
+
+def incremental_stage_macs(plan: PatchPlan, dirty_branch_ids: list[int]) -> int:
+    """Patch-stage MACs of re-executing only ``dirty_branch_ids``.
+
+    The per-frame cost of streaming inference's partial recompute: clean
+    branches are served from cache at zero MACs, dirty branches pay their full
+    per-branch cost (halo included — an invalidated patch recomputes its whole
+    input region, not just the changed pixels).
+    """
+    return shard_macs(plan, sorted(set(dirty_branch_ids)))
+
+
+@dataclass(frozen=True)
+class StreamingCostReport:
+    """Dirty-MAC accounting of one incremental frame against full recompute."""
+
+    num_branches: int
+    num_dirty: int
+    executed_macs: int
+    total_macs: int
+
+    @property
+    def reused_branches(self) -> int:
+        return self.num_branches - self.num_dirty
+
+    @property
+    def reuse_rate(self) -> float:
+        return self.reused_branches / self.num_branches if self.num_branches else 0.0
+
+    @property
+    def executed_fraction(self) -> float:
+        """Executed patch-stage MACs as a fraction of full recomputation."""
+        return self.executed_macs / self.total_macs if self.total_macs else 0.0
+
+    @property
+    def mac_speedup(self) -> float:
+        return self.total_macs / self.executed_macs if self.executed_macs else float("inf")
+
+
+def analyze_streaming(plan: PatchPlan, dirty_branch_ids: list[int]) -> StreamingCostReport:
+    """Summarize the patch-stage savings of recomputing only ``dirty_branch_ids``."""
+    dirty = sorted(set(dirty_branch_ids))
+    return StreamingCostReport(
+        num_branches=plan.num_branches,
+        num_dirty=len(dirty),
+        executed_macs=shard_macs(plan, dirty),
+        total_macs=patch_stage_macs(plan),
+    )
 
 
 @dataclass

@@ -67,6 +67,31 @@ class PatchExecutor:
         """Return only the stitched split feature map (useful for testing)."""
         return self._run_patch_stage(x)
 
+    def compute_tiles(
+        self, x: np.ndarray, branch_ids: list[int]
+    ) -> list[tuple[BranchPlan, np.ndarray]]:
+        """Run only the branches in ``branch_ids``; returns ``[(branch, tile), ...]``.
+
+        The partial-execution entry point used by streaming inference: a
+        caller that knows some tiles are still valid (their input regions did
+        not change) asks for just the dirty subset.  Subclasses that own
+        worker pools override this to keep their parallelism structure — the
+        base implementation runs the subset serially.
+        """
+        return [
+            (self.plan.branches[i], self.run_branch(self.plan.branches[i], x))
+            for i in branch_ids
+        ]
+
+    def run_suffix(self, x: np.ndarray, stitched: np.ndarray) -> np.ndarray:
+        """Run the layer-by-layer suffix on an already-stitched split feature map.
+
+        Public counterpart of the internal suffix pass so callers that manage
+        the stitched buffer themselves (the streaming session keeps it alive
+        across frames) can finish the forward pass through the same hooks.
+        """
+        return self._run_suffix(x, stitched)
+
     def run_branch(self, branch: BranchPlan, x: np.ndarray) -> np.ndarray:
         """Run one dataflow branch and return its tile of the split feature map.
 

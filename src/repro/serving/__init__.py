@@ -13,7 +13,12 @@ concurrent inference service:
   micro-batching and an LRU :class:`PipelineCache` of compiled pipelines
   (:mod:`repro.serving.engine`, :mod:`repro.serving.cache`);
 * :class:`TelemetryRecorder` — per-request latency, queue depth, batch-size
-  histogram and cache hit rate (:mod:`repro.serving.telemetry`).
+  histogram, cache hit rate and streaming reuse counters
+  (:mod:`repro.serving.telemetry`);
+* :class:`StreamSession` (re-exported from :mod:`repro.streaming`) — open one
+  with :meth:`CompiledPipeline.open_stream` or
+  :meth:`InferenceEngine.open_stream` to serve video/sensor streams with
+  incremental patch recomputation.
 
 Quickstart::
 
@@ -24,6 +29,7 @@ Quickstart::
     print(engine.telemetry.snapshot())
 """
 
+from ..streaming import FrameStats, StreamSession, StreamStats
 from .cache import CacheStats, PipelineCache
 from .engine import EngineClosed, InferenceEngine
 from .parallel import ParallelPatchExecutor, default_worker_count
@@ -44,4 +50,7 @@ __all__ = [
     "TelemetrySnapshot",
     "RequestRecord",
     "percentile",
+    "StreamSession",
+    "StreamStats",
+    "FrameStats",
 ]

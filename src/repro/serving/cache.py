@@ -10,8 +10,9 @@ determines a deployment artifact.
 The cache is thread-safe: the engine's batcher thread and caller threads may
 hit it concurrently.  On miss the factory runs *outside* the lock so a slow
 compile does not stall lookups of already-cached pipelines; if two threads
-race to compile the same key, the first inserted wins and both get the same
-object on subsequent lookups.
+race to compile the same key, the first inserted wins, the losing duplicate is
+released through ``on_evict`` (it may own a worker pool), and both threads get
+the same resident object.
 """
 
 from __future__ import annotations
@@ -33,6 +34,8 @@ class CacheStats:
     evictions: int = 0
     size: int = 0
     capacity: int = 0
+    #: Losing pipelines of concurrent same-key compiles, released unused.
+    discards: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -71,6 +74,7 @@ class PipelineCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._discards = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -85,6 +89,12 @@ class PipelineCache:
         with self._lock:
             return list(self._entries)
 
+    def peek(self, key: Hashable):
+        """The resident pipeline for ``key`` (or ``None``) — no factory, no
+        counters, no LRU refresh."""
+        with self._lock:
+            return self._entries.get(key)
+
     def get(self, key: Hashable):
         """Return the pipeline for ``key``, building it on a miss."""
         with self._lock:
@@ -94,24 +104,38 @@ class PipelineCache:
                 return self._entries[key]
             self._misses += 1
         pipeline = self.factory(key)
-        self.put(key, pipeline)
-        with self._lock:
-            # The racing compile may have inserted first; serve the resident one.
-            return self._entries.get(key, pipeline)
+        # The racing compile may have inserted first; put() then releases our
+        # freshly built duplicate and returns the resident pipeline.
+        return self.put(key, pipeline)
 
-    def put(self, key: Hashable, pipeline: object) -> None:
-        """Insert ``pipeline`` (first writer wins on races), evicting LRU entries."""
+    def put(self, key: Hashable, pipeline: object) -> object:
+        """Insert ``pipeline``, evicting LRU entries; returns the resident pipeline.
+
+        First writer wins on races: if ``key`` is already mapped to a
+        *different* object, the resident one is kept and the losing
+        ``pipeline`` is released through ``on_evict`` — it may hold real
+        resources (a parallel-executor worker pool) that would otherwise leak
+        when two threads miss on the same key concurrently.
+        """
         evicted: list[tuple[Hashable, object]] = []
+        loser: object | None = None
         with self._lock:
-            if key not in self._entries:
-                self._entries[key] = pipeline
+            resident = self._entries.get(key)
+            if resident is None:
+                resident = self._entries[key] = pipeline
+            elif resident is not pipeline:
+                loser = pipeline
+                self._discards += 1
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 evicted.append(self._entries.popitem(last=False))
                 self._evictions += 1
-        for evicted_key, evicted_pipeline in evicted:
-            if self.on_evict is not None:
+        if self.on_evict is not None:
+            if loser is not None:
+                self.on_evict(key, loser)
+            for evicted_key, evicted_pipeline in evicted:
                 self.on_evict(evicted_key, evicted_pipeline)
+        return resident
 
     def stats(self) -> CacheStats:
         """Snapshot of the hit/miss/eviction counters."""
@@ -122,6 +146,7 @@ class PipelineCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                discards=self._discards,
             )
 
     def clear(self) -> None:

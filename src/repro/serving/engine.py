@@ -32,6 +32,8 @@ import itertools
 import queue
 import threading
 import time
+import weakref
+from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Hashable
@@ -41,6 +43,7 @@ import numpy as np
 from ..hardware.cluster import ClusterSpec, estimate_cluster_serving_latency
 from ..hardware.device import MCUDevice
 from ..hardware.latency import estimate_serving_latency
+from ..streaming.session import StreamSession
 from .cache import PipelineCache
 from .pipeline import CompiledPipeline
 from .telemetry import RequestRecord, TelemetryRecorder
@@ -84,6 +87,12 @@ class _Group:
 
 
 _SHUTDOWN = object()
+
+#: Bound on memoized modelled-latency entries per pipeline fingerprint.  Batch
+#: sizes are mostly confined to ``1..max_batch_size``, but multi-sample
+#: requests can exceed the bound, so the memo is LRU-capped rather than sized
+#: exactly.
+_MAX_BATCH_MEMO = 32
 
 
 class InferenceEngine:
@@ -154,7 +163,20 @@ class InferenceEngine:
         # Serializes the closed-check + enqueue against close(), so no request
         # can slip into the queue after the shutdown sentinel.
         self._submit_lock = threading.Lock()
-        self._device_breakdowns: dict[tuple, float] = {}
+        # Modelled-latency memo: fingerprint -> LRU of batch_size -> seconds.
+        # Bounded two ways: entries for a pipeline die with its cache entry
+        # (the eviction hook below) and batch-size keys are capped per
+        # fingerprint, so a long-lived engine cannot grow it without bound.
+        self._device_breakdowns: dict[str, OrderedDict[int, float]] = {}
+        self._breakdown_lock = threading.Lock()
+        # Chain onto the cache's eviction callback (preserving any existing
+        # one) so a pipeline leaving the cache drops its memoized latencies.
+        # The hook holds the engine weakly: if close-order interleaving on a
+        # shared cache strands the hook mid-chain, it delegates onward without
+        # keeping the dead engine (and its telemetry) alive.
+        self._chained_on_evict = self.cache.on_evict
+        self._evict_hook = _eviction_hook(weakref.ref(self), self._chained_on_evict)
+        self.cache.on_evict = self._evict_hook
         self._batcher = threading.Thread(
             target=self._batch_loop, name="inference-batcher", daemon=True
         )
@@ -209,6 +231,39 @@ class InferenceEngine:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(x, key=key).result()
 
+    def open_stream(self, key: Hashable | None = None) -> StreamSession:
+        """Open a streaming session against one of this engine's pipelines.
+
+        The returned :class:`~repro.streaming.StreamSession` serves successive
+        frames of one video/sensor stream with incremental patch
+        recomputation — bit-identical to full recomputation — using the same
+        execution mode (``parallel_patches`` / ``cluster``) as batched
+        requests.  Frames are processed synchronously in the caller's thread:
+        a stream is stateful (each frame diffs against the previous one), so
+        its frames cannot be re-ordered or batched with other traffic.  Every
+        processed frame records its reuse counters into the engine telemetry
+        (``stream_frames``, ``stream_branches_executed``,
+        ``stream_branches_reused``, ``stream_reuse_rate``).
+        """
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        if key is None:
+            if self._default_key is None:
+                raise ValueError("engine serves multiple pipelines; a key is required")
+            key = self._default_key
+        pipeline = self.cache.get(key)
+        stats = self.cache.stats()
+        self.telemetry.record_cache(stats.hits, stats.misses, stats.evictions)
+        session = pipeline.open_stream(
+            parallel=self.parallel_patches, cluster=self.cluster
+        )
+        session.add_observer(
+            lambda frame: self.telemetry.record_stream_frame(
+                frame.executed_branches, frame.reused_branches
+            )
+        )
+        return session
+
     def close(self, wait: bool = True) -> None:
         """Stop accepting requests; flush whatever is queued, then stop the batcher."""
         with self._submit_lock:
@@ -216,6 +271,12 @@ class InferenceEngine:
                 return
             self._closed = True
             self._queue.put(_SHUTDOWN)
+        # Unhook from the (possibly shared, possibly longer-lived) cache when
+        # we are at the head of the chain.  If a later engine wrapped on top
+        # of us we must stay mid-chain — but the hook only weak-references us,
+        # so staying costs a small closure, not the engine.
+        if self.cache.on_evict is self._evict_hook:
+            self.cache.on_evict = self._chained_on_evict
         if wait:
             self._batcher.join()
 
@@ -287,6 +348,23 @@ class InferenceEngine:
         requests = [r for r in group.requests if r.future.set_running_or_notify_cancel()]
         if not requests:
             return
+        # Chunk so no served micro-batch exceeds max_batch_size.  A group can
+        # hold more samples than the bound when a multi-sample request lands
+        # on an almost-full group; serving the concatenation whole would
+        # violate the configured bound.  Requests are atomic (one caller, one
+        # result), so the only batch ever allowed over the bound is a single
+        # request that is itself oversized — and it is served alone.
+        chunk: list[_PendingRequest] = []
+        chunk_samples = 0
+        for request in requests:
+            if chunk and chunk_samples + request.num_samples > self.max_batch_size:
+                self._serve_batch(group.pipeline, chunk)
+                chunk, chunk_samples = [], 0
+            chunk.append(request)
+            chunk_samples += request.num_samples
+        self._serve_batch(group.pipeline, chunk)
+
+    def _serve_batch(self, pipeline: CompiledPipeline, requests: list[_PendingRequest]) -> None:
         num_samples = sum(r.num_samples for r in requests)
         self.telemetry.record_batch(num_samples)
         started = time.perf_counter()
@@ -296,7 +374,7 @@ class InferenceEngine:
                 if len(requests) == 1
                 else np.concatenate([r.x for r in requests], axis=0)
             )
-            output = group.pipeline.infer(
+            output = pipeline.infer(
                 batch, parallel=self.parallel_patches, cluster=self.cluster
             )
         except Exception as exc:  # propagate the failure to every caller
@@ -305,7 +383,7 @@ class InferenceEngine:
             return
         completed = time.perf_counter()
         service = completed - started
-        device_share = self._modelled_device_seconds(group.pipeline, num_samples)
+        device_share = self._modelled_device_seconds(pipeline, num_samples)
         offset = 0
         for request in requests:
             rows = output[offset : offset + request.num_samples]
@@ -333,8 +411,11 @@ class InferenceEngine:
         """
         if self.device is None and self.cluster is None:
             return 0.0
-        cache_key = (pipeline.fingerprint, batch_size)
-        seconds = self._device_breakdowns.get(cache_key)
+        with self._breakdown_lock:
+            memo = self._device_breakdowns.get(pipeline.fingerprint)
+            seconds = memo.get(batch_size) if memo is not None else None
+            if seconds is not None:
+                memo.move_to_end(batch_size)
         if seconds is None:
             suffix_config, branch_configs = pipeline.quantization_configs()
             if self.cluster is not None:
@@ -357,5 +438,37 @@ class InferenceEngine:
                     branch_configs=branch_configs,
                 )
                 seconds = breakdown.total_seconds
-            self._device_breakdowns[cache_key] = seconds
+            with self._breakdown_lock:
+                memo = self._device_breakdowns.setdefault(pipeline.fingerprint, OrderedDict())
+                memo[batch_size] = seconds
+                memo.move_to_end(batch_size)
+                while len(memo) > _MAX_BATCH_MEMO:
+                    memo.popitem(last=False)
         return seconds / batch_size
+
+    def _drop_pipeline_breakdowns(self, key: Hashable, pipeline: object) -> None:
+        """On cache eviction, drop the evicted pipeline's modelled latencies.
+
+        A compile-race discard releases a *duplicate* whose fingerprint
+        matches the still-resident winner; its memo entries are still valid
+        (they are keyed by fingerprint, not object), so they are kept.
+        """
+        fingerprint = getattr(pipeline, "fingerprint", None)
+        if fingerprint is not None:
+            resident = self.cache.peek(key)
+            if getattr(resident, "fingerprint", None) != fingerprint:
+                with self._breakdown_lock:
+                    self._device_breakdowns.pop(fingerprint, None)
+
+
+def _eviction_hook(engine_ref: "weakref.ref[InferenceEngine]", chained):
+    """A cache ``on_evict`` callback that does not root its engine."""
+
+    def hook(key: Hashable, pipeline: object) -> None:
+        engine = engine_ref()
+        if engine is not None:
+            engine._drop_pipeline_breakdowns(key, pipeline)
+        if chained is not None:
+            chained(key, pipeline)
+
+    return hook

@@ -26,7 +26,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..patch.executor import BranchHook, PatchExecutor, SuffixHook
-from ..patch.plan import PatchPlan
+from ..patch.plan import BranchPlan, PatchPlan
 
 __all__ = ["ParallelPatchExecutor", "default_worker_count"]
 
@@ -85,6 +85,19 @@ class ParallelPatchExecutor(PatchExecutor):
         self.close()
 
     # ------------------------------------------------------------ patch stage
+    def compute_tiles(
+        self, x: np.ndarray, branch_ids: list[int]
+    ) -> list[tuple[BranchPlan, np.ndarray]]:
+        """Run only ``branch_ids``, dispatching them across the worker pool."""
+        if self.max_workers <= 1 or len(branch_ids) <= 1:
+            return super().compute_tiles(x, branch_ids)
+        pool = self._ensure_pool()
+        futures = [
+            (self.plan.branches[i], pool.submit(self.run_branch, self.plan.branches[i], x))
+            for i in branch_ids
+        ]
+        return [(branch, future.result()) for branch, future in futures]
+
     def _run_patch_stage(self, x: np.ndarray) -> np.ndarray:
         plan = self.plan
         if self.max_workers <= 1 or plan.num_branches <= 1:

@@ -40,6 +40,7 @@ from ..patch.executor import PatchExecutor
 from ..patch.plan import PatchPlan, build_patch_plan
 from ..quant.config import QuantizationConfig
 from ..quant.quantizers import quantize_weight_per_channel
+from ..streaming.session import StreamSession
 from .parallel import ParallelPatchExecutor
 
 __all__ = ["ModelSpec", "CompiledPipeline", "compile_pipeline"]
@@ -139,6 +140,10 @@ class CompiledPipeline:
             plan, branch_hook=self._branch_hook, suffix_hook=self._suffix_hook
         )
         self._parallel: ParallelPatchExecutor | None = None
+        # Parallel executors replaced by a max_workers change: a live
+        # StreamSession may still hold one (its lazily re-created pool must be
+        # shut down again by close()).
+        self._parallel_retired: list[ParallelPatchExecutor] = []
         self._distributed: dict[tuple, DistributedExecutor] = {}
         self._executor_lock = threading.Lock()
 
@@ -204,6 +209,7 @@ class CompiledPipeline:
             ):
                 if self._parallel is not None:
                     self._parallel.close()
+                    self._parallel_retired.append(self._parallel)
                 self._parallel = ParallelPatchExecutor(
                     self.plan,
                     branch_hook=self._branch_hook,
@@ -225,13 +231,36 @@ class CompiledPipeline:
                 parallel=parallel, max_workers=max_workers, cluster=cluster
             ).forward(x)
         finally:
-            # Layers stash backward-pass caches (im2col matrices, BN x_hat)
-            # on every forward; a resident serving pipeline must not keep a
-            # full activation set alive between requests.
-            for _, layer in self.graph.layers():
-                layer._cache = {}
+            self._clear_layer_caches()
 
     __call__ = infer
+
+    def _clear_layer_caches(self) -> None:
+        # Layers stash backward-pass caches (im2col matrices, BN x_hat)
+        # on every forward; a resident serving pipeline must not keep a
+        # full activation set alive between requests.
+        for _, layer in self.graph.layers():
+            layer._cache = {}
+
+    def open_stream(
+        self,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        cluster: ClusterSpec | None = None,
+    ) -> StreamSession:
+        """Open a :class:`~repro.streaming.StreamSession` on this pipeline.
+
+        Successive frames fed to the session recompute only the patch
+        branches whose input regions changed, bit-identical to full
+        recomputation (see :mod:`repro.streaming`).  ``parallel`` and
+        ``cluster`` pick the executor exactly as :meth:`infer` does; the
+        executor is owned (and eventually closed) by the pipeline, so the
+        session must not outlive it.
+        """
+        executor = self.executor(parallel=parallel, max_workers=max_workers, cluster=cluster)
+        session = StreamSession(executor)
+        session.add_observer(lambda stats: self._clear_layer_caches())
+        return session
 
     def close(self) -> None:
         """Release the parallel worker pool and any distributed device pools."""
@@ -239,6 +268,9 @@ class CompiledPipeline:
             if self._parallel is not None:
                 self._parallel.close()
                 self._parallel = None
+            for executor in self._parallel_retired:
+                executor.close()  # a session may have lazily revived its pool
+            self._parallel_retired.clear()
             for executor in self._distributed.values():
                 executor.close()
             self._distributed.clear()

@@ -58,11 +58,21 @@ class TelemetrySnapshot:
     cache_misses: int
     cache_evictions: int
     mean_modelled_device_ms: float = 0.0
+    #: Streaming-session reuse counters (see :meth:`TelemetryRecorder.record_stream_frame`).
+    stream_frames: int = 0
+    stream_branches_executed: int = 0
+    stream_branches_reused: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def stream_reuse_rate(self) -> float:
+        """Fraction of stream patch branches served from cache instead of recomputed."""
+        total = self.stream_branches_executed + self.stream_branches_reused
+        return self.stream_branches_reused / total if total else 0.0
 
 
 class TelemetryRecorder:
@@ -78,6 +88,9 @@ class TelemetryRecorder:
         self._cache_evictions = 0
         self._first_seconds: float | None = None
         self._last_seconds: float | None = None
+        self._stream_frames = 0
+        self._stream_executed = 0
+        self._stream_reused = 0
 
     # ------------------------------------------------------------- recording
     def record_request(self, record: RequestRecord, completed_at: float) -> None:
@@ -107,6 +120,13 @@ class TelemetryRecorder:
             self._cache_misses = misses
             self._cache_evictions = evictions
 
+    def record_stream_frame(self, executed_branches: int, reused_branches: int) -> None:
+        """Count one streaming frame: branches recomputed vs served from cache."""
+        with self._lock:
+            self._stream_frames += 1
+            self._stream_executed += executed_branches
+            self._stream_reused += reused_branches
+
     # ------------------------------------------------------------- reporting
     def records(self) -> list[RequestRecord]:
         with self._lock:
@@ -120,6 +140,8 @@ class TelemetryRecorder:
             depths = list(self._queue_depths)
             hits, misses, evictions = self._cache_hits, self._cache_misses, self._cache_evictions
             first, last = self._first_seconds, self._last_seconds
+            stream_frames = self._stream_frames
+            stream_executed, stream_reused = self._stream_executed, self._stream_reused
 
         totals = [r.total_seconds for r in records]
         wall = (last - first) if (first is not None and last is not None) else 0.0
@@ -148,4 +170,7 @@ class TelemetryRecorder:
                 if records
                 else 0.0
             ),
+            stream_frames=stream_frames,
+            stream_branches_executed=stream_executed,
+            stream_branches_reused=stream_reused,
         )

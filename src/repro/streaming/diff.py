@@ -1,0 +1,83 @@
+"""Frame diffing at patch granularity.
+
+Consecutive frames of a video or sensor stream overlap almost entirely, and a
+dataflow branch is a *pure function* of its input region: if no pixel inside
+that region (halo included) changed, the branch's tile of the split feature
+map is bit-identical to the previous frame's and need not be recomputed.
+These helpers find the branches that *do* need recomputation:
+
+* :func:`changed_mask` — the per-pixel ``(H, W)`` boolean map of where two
+  frames differ (any channel);
+* :func:`dirty_branch_ids` — the patch ids whose halo-inclusive input region
+  contains at least one changed pixel.
+
+Halo awareness comes for free from the plan geometry:
+``branch.clamped_regions["input"]`` *is* the exact input rectangle the branch
+reads — the backward-composed receptive field of its output tile, i.e. tile
+plus halo.  The unclamped out-of-bounds margin corresponds to convolution
+zero-padding, which is constant across frames and therefore never dirty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.graph import INPUT_NODE
+from ..patch.plan import PatchPlan
+
+__all__ = ["changed_mask", "dirty_branch_ids"]
+
+
+def changed_mask(previous: np.ndarray, current: np.ndarray) -> np.ndarray:
+    """Boolean ``(H, W)`` map of pixels where the frames differ in any channel.
+
+    Both frames may be ``(C, H, W)`` or ``(N, C, H, W)``; leading axes are
+    reduced together.  Comparison is exact (``!=``), matching the session's
+    exact-reuse contract: a pixel that changed by any amount — however small —
+    marks its dependent branches dirty, and NaNs (never equal to themselves)
+    conservatively count as changed.
+    """
+    if previous.shape != current.shape:
+        raise ValueError(
+            f"frame shape changed mid-stream: {previous.shape} vs {current.shape}"
+        )
+    differs = previous != current
+    return np.any(differs, axis=tuple(range(differs.ndim - 2)))
+
+
+def dirty_branch_ids(plan: PatchPlan, mask: np.ndarray) -> list[int]:
+    """Patch ids of ``plan`` whose input region (halo included) has a changed pixel.
+
+    ``mask`` is the ``(H, W)`` output of :func:`changed_mask` over the model's
+    input resolution.  Returns patch ids in ascending order; an all-false mask
+    returns ``[]`` (every branch reusable), an all-true mask returns every id.
+    """
+    _, height, width = plan.graph.input_shape
+    if mask.shape != (height, width):
+        raise ValueError(
+            f"mask shape {mask.shape} does not match input {height}x{width}"
+        )
+    changed_rows = np.flatnonzero(mask.any(axis=1))
+    if changed_rows.size == 0:
+        return []
+    changed_cols = np.flatnonzero(mask.any(axis=0))
+    row_lo, row_hi = int(changed_rows[0]), int(changed_rows[-1]) + 1
+    col_lo, col_hi = int(changed_cols[0]), int(changed_cols[-1]) + 1
+
+    dirty: list[int] = []
+    for branch in plan.branches:
+        region = branch.clamped_regions[INPUT_NODE]
+        # Cheap bounding-box rejection before the exact (sliced) check.
+        if (
+            region.row_start >= row_hi
+            or region.row_stop <= row_lo
+            or region.col_start >= col_hi
+            or region.col_stop <= col_lo
+        ):
+            continue
+        window = mask[
+            region.row_start : region.row_stop, region.col_start : region.col_stop
+        ]
+        if window.any():
+            dirty.append(branch.patch_id)
+    return dirty

@@ -1,0 +1,59 @@
+"""SyntheticVideo: determinism, confinement, and temporal redundancy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticVideo
+
+
+def test_video_shapes_and_determinism():
+    a = SyntheticVideo(num_frames=5, resolution=48, motion_fraction=0.3, seed=7)
+    b = SyntheticVideo(num_frames=5, resolution=48, motion_fraction=0.3, seed=7)
+    assert a.frames.shape == (5, 3, 48, 48)
+    assert a.frames.dtype == np.float32
+    assert np.array_equal(a.frames, b.frames)
+    assert a.boxes == b.boxes
+    assert len(a) == a.num_frames == 5
+    assert a.resolution == 48
+
+
+def test_change_is_confined_to_consecutive_object_boxes():
+    video = SyntheticVideo(num_frames=6, resolution=64, motion_fraction=0.3, seed=3)
+    for t in range(1, video.num_frames):
+        changed = np.any(video.frames[t - 1] != video.frames[t], axis=0)
+        r0a, c0a, r1a, c1a = video.boxes[t - 1]
+        r0b, c0b, r1b, c1b = video.boxes[t]
+        allowed = np.zeros_like(changed)
+        allowed[r0a:r1a, c0a:c1a] = True
+        allowed[r0b:r1b, c0b:c1b] = True
+        # Every changed pixel lies inside the union of the two object boxes:
+        # the rest of the frame is bit-static between consecutive frames.
+        assert not np.any(changed & ~allowed)
+
+
+def test_most_of_the_frame_is_static_at_low_motion():
+    video = SyntheticVideo(num_frames=8, resolution=64, motion_fraction=0.3, seed=0)
+    fractions = video.changed_fractions()
+    assert len(fractions) == 7
+    # Change per transition is bounded by the object's footprint plus wander.
+    side = int(round(np.sqrt(0.3) * 64))
+    bound = ((side + 4) / 64) ** 2
+    assert all(f <= bound + 1e-9 for f in fractions)
+
+
+def test_wander_confines_the_walk():
+    video = SyntheticVideo(num_frames=12, resolution=64, motion_fraction=0.25, wander=5, seed=2)
+    for r0, c0, _, _ in video.boxes:
+        assert 0 <= r0 <= 5
+        assert 0 <= c0 <= 5
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError, match="num_frames"):
+        SyntheticVideo(num_frames=0)
+    with pytest.raises(ValueError, match="motion_fraction"):
+        SyntheticVideo(motion_fraction=0.0)
+    with pytest.raises(ValueError, match="motion_fraction"):
+        SyntheticVideo(motion_fraction=1.5)

@@ -48,9 +48,13 @@ from repro.hardware import (
 )
 from repro.serving import ModelSpec, compile_pipeline
 
-#: The two zoo models pinned by the golden suite.
+#: The two zoo models pinned by the golden suite.  ``streaming=True`` also
+#: pins the streaming reuse fingerprint (per-frame dirty sets and reuse rate
+#: of a fixed synthetic video) — pure integer geometry plus exact float
+#: comparisons of deterministically generated frames, so it is environment-
+#: independent, unlike the logit bytes.
 CASES: dict[str, dict] = {
-    "mobilenetv2": dict(model_name="mobilenetv2", resolution=32),
+    "mobilenetv2": dict(model_name="mobilenetv2", resolution=32, streaming=True),
     "mcunet": dict(model_name="mcunet", resolution=48),
 }
 
@@ -122,6 +126,29 @@ def compute_case(case_name: str) -> dict:
             "pipelined_x4_ms": breakdown.pipelined_makespan_seconds(4) * 1e3,
         }
 
+    streaming = None
+    if params.get("streaming"):
+        from repro.data import SyntheticVideo
+
+        video = SyntheticVideo(
+            num_frames=4, resolution=resolution, motion_fraction=0.3, seed=2
+        )
+        session = compiled.open_stream()
+        for frame in video:
+            incremental = session.process(frame)
+            assert np.array_equal(incremental, compiled.infer(frame[None])[0])
+        session.process(video.frames[-1].copy())  # identical frame: full reuse
+        stream_stats = session.stats()
+        streaming = {
+            "frames": stream_stats.frames,
+            "num_branches": compiled.plan.num_branches,
+            "dirty_branches_per_frame": [
+                list(frame.dirty_branches) for frame in session.frame_stats
+            ],
+            "reuse_rate": round(stream_stats.reuse_rate, 6),
+            "mac_fraction": round(stream_stats.mac_fraction, 6),
+        }
+
     return {
         "environment": environment_fingerprint(),
         "model": {"name": model_name, "resolution": resolution},
@@ -148,6 +175,7 @@ def compute_case(case_name: str) -> dict:
             "serving_batch4_ms": serving4.total_ms,
             "cluster": cluster_ms,
         },
+        **({"streaming": streaming} if streaming is not None else {}),
     }
 
 

@@ -76,6 +76,19 @@ def test_latency_model_pinned(case_name):
     _compare(current["latency_model"], golden["latency_model"])
 
 
+def test_streaming_reuse_pinned(case_name):
+    """Streaming dirty sets and reuse rate are pure geometry — pinned exactly.
+
+    Only cases with ``streaming=True`` carry the fingerprint; a change here
+    means the frame differ, the plan geometry or the reuse accounting moved.
+    """
+    current, golden = _current_and_golden(case_name)
+    if "streaming" not in golden:
+        assert "streaming" not in current
+        pytest.skip("case does not pin a streaming fingerprint")
+    assert current["streaming"] == golden["streaming"]
+
+
 def test_serving_path_matches_direct_logits(case_name):
     """End of the end-to-end: the engine serves the exact pinned logits."""
     from fixtures import quantize_and_compile

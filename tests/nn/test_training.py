@@ -82,11 +82,17 @@ class TestOptimizers:
 
 class TestFit:
     def test_fit_learns_separable_task(self, rng):
+        # Explicitly seeded init: layers built without an rng draw from the
+        # shared module-level default stream, whose position depends on how
+        # many layers earlier tests built (the hypothesis-driven property
+        # sweeps vary run to run) — convergence from an arbitrary init is not
+        # guaranteed, so this test was order-dependent flaky without it.
+        init = np.random.default_rng(3)
         g = Graph((2, 4, 4), name="sep")
-        g.add(Conv2d(2, 4, 3, padding=1), name="c")
+        g.add(Conv2d(2, 4, 3, padding=1, rng=init), name="c")
         g.add(ReLU(), name="r")
         g.add(GlobalAvgPool(), name="gap")
-        g.add(Linear(4, 2), name="fc")
+        g.add(Linear(4, 2, rng=init), name="fc")
         x = rng.standard_normal((80, 2, 4, 4)).astype(np.float32)
         y = (x[:, 0].mean(axis=(1, 2)) > 0).astype(np.int64)
         history = fit(g, x, y, epochs=10, batch_size=16, optimizer=Adam(g, lr=5e-3))

@@ -32,6 +32,20 @@ def test_lru_order_and_eviction():
     assert stats.size == 2
 
 
+def test_peek_does_not_build_count_or_refresh():
+    built: list[str] = []
+    cache = PipelineCache(factory=lambda key: built.append(key) or key, capacity=2)
+    assert cache.peek("a") is None
+    assert built == []  # no factory call
+    cache.get("a")
+    cache.get("b")
+    assert cache.peek("a") == "a"
+    cache.get("c")  # "a" was NOT refreshed by peek: it is the LRU victim
+    assert cache.peek("a") is None
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (0, 3)  # peeks touched no counters
+
+
 def test_capacity_validation():
     with pytest.raises(ValueError):
         PipelineCache(factory=lambda key: key, capacity=0)
@@ -45,6 +59,63 @@ def test_clear_runs_eviction_callback():
     cache.clear()
     assert sorted(evicted) == ["a", "b"]
     assert len(cache) == 0
+
+
+def test_concurrent_double_miss_releases_losing_pipeline():
+    """Regression: the losing compile of a same-key race must not leak.
+
+    Two threads miss on the same key at the same time (a barrier inside the
+    factory guarantees both actually build); first writer wins, and the losing
+    pipeline — which may own a parallel-executor worker pool — must be
+    released through ``on_evict`` rather than silently dropped.
+    """
+    barrier = threading.Barrier(2)
+    built: list[object] = []
+    released: list[tuple[str, object]] = []
+
+    def factory(key):
+        pipeline = object()
+        built.append(pipeline)
+        barrier.wait(timeout=10)  # both threads are now committed to building
+        return pipeline
+
+    cache = PipelineCache(factory, capacity=4, on_evict=lambda k, p: released.append((k, p)))
+    results: list[object] = []
+
+    def worker():
+        results.append(cache.get("model"))
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(built) == 2
+    resident = cache.get("model")
+    # Both racing gets were served the single resident pipeline...
+    assert results == [resident, resident]
+    # ...and the losing build was released exactly once, with its key.
+    assert len(released) == 1
+    (released_key, released_pipeline), = released
+    assert released_key == "model"
+    assert released_pipeline in built
+    assert released_pipeline is not resident
+    stats = cache.stats()
+    assert stats.discards == 1
+    assert stats.evictions == 0  # a discarded duplicate is not an LRU eviction
+
+
+def test_put_returns_resident_and_releases_duplicate():
+    released: list[object] = []
+    cache = PipelineCache(lambda key: key, capacity=2, on_evict=lambda k, p: released.append(p))
+    first, second = object(), object()
+    assert cache.put("k", first) is first
+    assert cache.put("k", second) is first  # first writer wins
+    assert released == [second]
+    assert cache.put("k", first) is first  # re-putting the resident is a no-op
+    assert released == [second]
+    assert cache.stats().discards == 1
 
 
 def test_concurrent_get_returns_one_resident_object():

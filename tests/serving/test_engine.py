@@ -195,6 +195,156 @@ def test_close_is_idempotent_and_blocks_all_submission_paths(compiled_mobilenet,
         engine.infer(x)  # the blocking wrapper goes through the same gate
 
 
+def test_max_batch_size_never_exceeded_by_multi_sample_requests(compiled_mobilenet, rng):
+    """Regression: a multi-sample request landing on an almost-full group used
+    to be concatenated into a served batch larger than ``max_batch_size``."""
+    x = rng.standard_normal((6, 3, 32, 32)).astype(np.float32)
+    direct = compiled_mobilenet.infer(x)
+    with InferenceEngine(compiled_mobilenet, max_batch_size=4, batch_timeout_s=10.0) as engine:
+        # Three singles accumulate (the timeout is far away), then a 3-sample
+        # request pushes the group to 6 samples and triggers the size flush.
+        futures = [engine.submit(x[i]) for i in range(3)]
+        futures.append(engine.submit(x[3:6]))
+        singles = [f.result(timeout=30) for f in futures[:3]]
+        multi = futures[3].result(timeout=30)
+    histogram = engine.telemetry.snapshot().batch_size_histogram
+    assert histogram, "no batches recorded"
+    assert max(histogram) <= 4, f"served a batch over the bound: {histogram}"
+    for i, out in enumerate(singles):
+        assert np.allclose(out, direct[i], **BATCH_SIZE_TOL)
+    assert np.allclose(multi, direct[3:6], **BATCH_SIZE_TOL)
+
+
+def test_oversized_single_request_is_served_alone(compiled_mobilenet, rng):
+    """A single request larger than max_batch_size is the one allowed exception."""
+    x = rng.standard_normal((7, 3, 32, 32)).astype(np.float32)
+    direct = compiled_mobilenet.infer(x)
+    with InferenceEngine(compiled_mobilenet, max_batch_size=4, batch_timeout_s=0.01) as engine:
+        out = engine.infer(x)
+    assert np.array_equal(out, direct)  # served alone: the identical batch
+    histogram = engine.telemetry.snapshot().batch_size_histogram
+    assert histogram.get(7) == 1
+
+
+def test_device_breakdown_memo_is_bounded(compiled_mobilenet):
+    """Regression: the modelled-latency memo grew without bound per batch size."""
+    from repro.hardware import ARDUINO_NANO_33_BLE
+
+    engine = InferenceEngine(
+        compiled_mobilenet, batch_timeout_s=0.001, device=ARDUINO_NANO_33_BLE
+    )
+    try:
+        for batch_size in range(1, 200):
+            engine._modelled_device_seconds(compiled_mobilenet, batch_size)
+        memo = engine._device_breakdowns[compiled_mobilenet.fingerprint]
+        assert len(memo) <= 32
+        # LRU: the most recent batch sizes are the ones retained.
+        assert max(memo) == 199
+        assert 1 not in memo
+    finally:
+        engine.close()
+
+
+def test_device_breakdowns_dropped_when_pipeline_evicted(tiny_mobilenet, rng):
+    """Regression: latency memo entries outlived their evicted pipeline."""
+    from repro.hardware import ARDUINO_NANO_33_BLE
+
+    calib = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+    compiled_by_key = {}
+
+    def factory(key):
+        pipeline = QuantMCUPipeline(
+            tiny_mobilenet, sram_limit_bytes=64 * 1024, num_patches=2, weight_bits=key[1]
+        )
+        compiled_by_key[key] = compile_pipeline(pipeline, pipeline.run(calib))
+        return compiled_by_key[key]
+
+    cache = PipelineCache(factory, capacity=1)
+    x = rng.standard_normal((3, 32, 32)).astype(np.float32)
+    with InferenceEngine(
+        cache, max_batch_size=2, batch_timeout_s=0.002, device=ARDUINO_NANO_33_BLE
+    ) as engine:
+        engine.infer(x, key=("mobilenetv2", 8))
+        fingerprint_8 = compiled_by_key[("mobilenetv2", 8)].fingerprint
+        assert fingerprint_8 in engine._device_breakdowns
+        engine.infer(x, key=("mobilenetv2", 4))  # capacity 1: evicts the 8-bit one
+        assert fingerprint_8 not in engine._device_breakdowns
+        assert compiled_by_key[("mobilenetv2", 4)].fingerprint in engine._device_breakdowns
+
+
+def test_race_discard_keeps_resident_pipeline_breakdowns(compiled_mobilenet):
+    """Releasing a compile-race duplicate must not drop the resident's memo:
+    both carry the same fingerprint, and the memo entries are still valid."""
+    from repro.hardware import ARDUINO_NANO_33_BLE
+
+    cache = PipelineCache(lambda key: compiled_mobilenet, capacity=2)
+    engine = InferenceEngine(cache, batch_timeout_s=0.001, device=ARDUINO_NANO_33_BLE)
+    try:
+        cache.get("model")
+        engine._modelled_device_seconds(compiled_mobilenet, 2)
+        assert compiled_mobilenet.fingerprint in engine._device_breakdowns
+        # A losing duplicate carries the resident's fingerprint; the eviction
+        # hook must see the key still resident and keep the memo.
+        engine._drop_pipeline_breakdowns("model", compiled_mobilenet)
+        assert compiled_mobilenet.fingerprint in engine._device_breakdowns
+    finally:
+        engine.close()
+
+
+def test_engine_chains_existing_cache_on_evict(compiled_mobilenet):
+    """Wrapping the cache's eviction hook must preserve a caller-installed one."""
+    seen: list = []
+    cache = PipelineCache(lambda key: compiled_mobilenet, capacity=1, on_evict=lambda k, p: seen.append(k))
+    engine = InferenceEngine(cache, batch_timeout_s=0.001)
+    try:
+        cache.get("a")
+        cache.get("b")  # evicts "a"; the engine hook must delegate onward
+        assert seen == ["a"]
+    finally:
+        engine.close()
+
+
+def test_close_unhooks_engine_from_shared_cache(compiled_mobilenet):
+    """Sequentially created engines on one shared cache must not chain up."""
+    sentinel_calls: list = []
+
+    def sentinel(key, pipeline):
+        sentinel_calls.append(key)
+
+    cache = PipelineCache(lambda key: compiled_mobilenet, capacity=1, on_evict=sentinel)
+    for _ in range(3):
+        engine = InferenceEngine(cache, batch_timeout_s=0.001)
+        engine.close()
+    # Every closed engine restored the hook it found; the caller's survives.
+    assert cache.on_evict is sentinel
+    cache.get("a")
+    cache.get("b")  # evicts "a"
+    assert sentinel_calls == ["a"]
+
+
+def test_non_lifo_close_does_not_retain_closed_engines(compiled_mobilenet):
+    """An engine stranded mid-chain by out-of-order closes must not be rooted
+    by the shared cache: its eviction hook holds it weakly and delegates."""
+    import gc
+    import weakref
+
+    sentinel_calls: list = []
+    cache = PipelineCache(
+        lambda key: compiled_mobilenet, capacity=1, on_evict=lambda k, p: sentinel_calls.append(k)
+    )
+    first = InferenceEngine(cache, batch_timeout_s=0.001)
+    second = InferenceEngine(cache, batch_timeout_s=0.001)
+    first.close()   # not at the head of the chain: must stay installed...
+    second.close()  # ...and second's unhook re-exposes first's hook
+    telemetry_ref = weakref.ref(first.telemetry)
+    del first
+    gc.collect()
+    assert telemetry_ref() is None  # the stranded hook kept no engine alive
+    cache.get("x")
+    cache.get("y")  # evicts "x"; the chain still reaches the caller's hook
+    assert sentinel_calls == ["x"]
+
+
 def test_mixed_key_batching_never_mixes_deployments(tiny_mobilenet, rng):
     """Requests for different deployment keys must never share a micro-batch.
 
