@@ -15,6 +15,7 @@ from . import (
     baselines,
     core,
     data,
+    devtools,
     distributed,
     experiments,
     hardware,
@@ -45,6 +46,7 @@ __all__ = [
     "baselines",
     "hardware",
     "data",
+    "devtools",
     "distributed",
     "experiments",
     "serving",

@@ -110,7 +110,9 @@ class QuantizationScoreCalculator:
         self._last_entropy = activation_entropy(activations[last], num_bins)
         if self._last_entropy <= 0.0:
             self._last_entropy = 1.0
-        self._entropy_cache: dict[tuple[int, int], float] = {}
+        # Bounded by |feature maps| x |candidate bitwidths| and scoped to one
+        # VDQS run (the scorer dies with the search).
+        self._entropy_cache: dict[tuple[int, int], float] = {}  # repro: noqa[REP004]
 
     # ----------------------------------------------------------------- pieces
     def phi(self, feature_map: int, bits: int) -> float:

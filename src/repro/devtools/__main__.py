@@ -1,0 +1,171 @@
+"""Console entry point: ``python -m repro.devtools <lint|racecheck|bench>``.
+
+``lint``
+    Run the project rules over a tree (default ``src``), compare against the
+    checked-in baseline (default ``lint_baseline.json``), print text or JSON,
+    exit 1 on any finding not in the baseline.
+
+``racecheck``
+    First self-test the detector (a deliberately seeded ABBA inversion must
+    be caught), then stress the real serving concurrency primitives under
+    instrumented locks and scheduling jitter; exit 1 on any hazard.
+
+``bench``
+    Time the linter over ``src`` and write ``BENCH_devtools.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import run_lint_bench
+from .lint import (
+    Baseline,
+    diff_against_baseline,
+    format_json,
+    format_text,
+    lint_paths,
+)
+from .racecheck import RaceMonitor, instrument
+from .stress import StressHarness
+
+__all__ = [
+    "main",
+    "run_lint",
+    "run_racecheck",
+    "run_bench",
+    "abba_selftest",
+    "cache_stress_scenario",
+]
+
+
+# ------------------------------------------------------------------- lint
+def run_lint(args: argparse.Namespace) -> int:
+    report = lint_paths(args.paths, rules=args.rules.split(",") if args.rules else None)
+    if args.no_baseline:
+        diff = None
+        clean = not report.findings and not report.parse_errors
+    else:
+        baseline = Baseline.load(args.baseline)
+        diff = diff_against_baseline(report.findings, baseline)
+        if args.write_baseline:
+            Baseline.from_findings(report.findings).save(args.baseline)
+        clean = diff.clean and not report.parse_errors
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(report, diff))
+    return 0 if clean else 1
+
+
+# -------------------------------------------------------------- racecheck
+def abba_selftest() -> bool:
+    """The detector must catch a deliberately seeded ABBA inversion."""
+    monitor = RaceMonitor()
+    lock_a, lock_b = monitor.lock("selftest.A"), monitor.lock("selftest.B")
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with lock_a:
+            pass
+    cycles = monitor.lock_order_cycles()
+    return any("selftest.A" in cycle and "selftest.B" in cycle for cycle in cycles)
+
+
+def cache_stress_scenario(threads: int, iterations: int) -> "RaceMonitor":
+    """Hammer a :class:`~repro.serving.cache.PipelineCache` under jitter.
+
+    Reproduces the shape of the PR 1 compile-race bug: many threads miss on
+    the same keys concurrently while others read stats and force evictions.
+    The factory returns plain objects (no model compile), so the scenario
+    runs in milliseconds while still exercising every lock transition.
+    """
+    from ..serving.cache import PipelineCache
+
+    harness = StressHarness(threads=threads, iterations=iterations, seed=7)
+    monitor = RaceMonitor(jitter=harness.pause)
+    released: list[object] = []
+    cache = PipelineCache(
+        factory=lambda key: object(), capacity=2, on_evict=lambda k, p: released.append(p)
+    )
+    instrument([cache], monitor)
+
+    def workload(worker: int, iteration: int) -> None:
+        key = f"model-{(worker + iteration) % 3}"
+        cache.get(key)
+        if iteration % 5 == 0:
+            cache.stats()
+        if iteration % 11 == 0:
+            cache.clear()
+
+    report = harness.run(workload)
+    if report.errors:
+        raise report.errors[0]
+    return monitor
+
+
+def run_racecheck(args: argparse.Namespace) -> int:
+    ok = True
+    if not abba_selftest():
+        print("racecheck SELFTEST FAILED: seeded ABBA inversion was not detected")
+        ok = False
+    else:
+        print("racecheck selftest: seeded ABBA inversion detected (detector live)")
+    monitor = cache_stress_scenario(args.threads, args.iterations)
+    report = monitor.report()
+    print(report.render())
+    if report.findings:
+        ok = False
+    print("racecheck: OK" if ok else "racecheck: FAILED")
+    return 0 if ok else 1
+
+
+# ------------------------------------------------------------------ bench
+def run_bench(args: argparse.Namespace) -> int:
+    snapshot = run_lint_bench(tuple(args.paths), out=args.out, repeats=args.repeats)
+    print(
+        f"linted {snapshot['files_checked']} files / {snapshot['total_lines']} lines "
+        f"in {snapshot['wall_seconds_best'] * 1000:.1f} ms (best of {args.repeats}); "
+        f"wrote {args.out}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_parser = sub.add_parser("lint", help="run the project lint rules")
+    lint_parser.add_argument("paths", nargs="*", default=["src"])
+    lint_parser.add_argument("--format", choices=("text", "json"), default="text")
+    lint_parser.add_argument("--baseline", default="lint_baseline.json")
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true", help="rewrite the baseline file"
+    )
+    lint_parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    lint_parser.add_argument(
+        "--rules", default=None, help="comma-separated rule codes (default: all)"
+    )
+    lint_parser.set_defaults(func=run_lint)
+
+    race_parser = sub.add_parser("racecheck", help="runtime race/lock-order check")
+    race_parser.add_argument("--threads", type=int, default=4)
+    race_parser.add_argument("--iterations", type=int, default=50)
+    race_parser.set_defaults(func=run_racecheck)
+
+    bench_parser = sub.add_parser("bench", help="time the linter, write BENCH_devtools.json")
+    bench_parser.add_argument("paths", nargs="*", default=["src"])
+    bench_parser.add_argument("--out", default="BENCH_devtools.json")
+    bench_parser.add_argument("--repeats", type=int, default=3)
+    bench_parser.set_defaults(func=run_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Perf snapshot of the analysis pass itself (ROADMAP BENCH_*.json convention).
+
+The lint gate runs on every CI push, so its own wall time is on the perf
+trajectory like any hot path: :func:`run_lint_bench` times repeated lint runs
+over a tree and writes ``BENCH_devtools.json`` with wall-time and throughput
+numbers that later PRs can compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from .lint import lint_paths
+
+__all__ = ["run_lint_bench"]
+
+
+def run_lint_bench(
+    paths: tuple[str, ...] = ("src",),
+    out: str | None = "BENCH_devtools.json",
+    repeats: int = 3,
+) -> dict:
+    """Time ``lint_paths`` over ``paths`` and write the snapshot JSON."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    durations: list[float] = []
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = lint_paths(paths)
+        durations.append(time.perf_counter() - started)
+    best = min(durations)
+    total_lines = 0
+    for path in paths:
+        base = Path(path)
+        files = base.rglob("*.py") if base.is_dir() else [base]
+        for file_path in files:
+            try:
+                total_lines += len(file_path.read_text().splitlines())
+            except OSError:
+                continue
+    snapshot = {
+        "benchmark": "devtools_lint",
+        "paths": list(paths),
+        "repeats": repeats,
+        "files_checked": report.files_checked,
+        "total_lines": total_lines,
+        "findings": len(report.findings),
+        "wall_seconds_best": best,
+        "wall_seconds_mean": sum(durations) / len(durations),
+        "lines_per_second": (total_lines / best) if best > 0 else None,
+        "rules": sorted(report.counts_by_rule()),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(snapshot, indent=2) + "\n")
+    return snapshot

@@ -1,0 +1,38 @@
+"""AST-based lint engine with project-specific correctness rules.
+
+See :mod:`repro.devtools.lint.rules` for the rule catalogue (REP001–REP006)
+and the historical bug behind each one.  Importing this package registers
+every rule in :data:`RULES`.
+"""
+
+from .framework import (
+    Finding,
+    LintReport,
+    LintRule,
+    ModuleSource,
+    RULES,
+    is_test_path,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from . import rules  # noqa: F401  (import for the registration side effect)
+from .baseline import Baseline, BaselineDiff, diff_against_baseline
+from .reporters import format_json, format_text
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleSource",
+    "RULES",
+    "is_test_path",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "Baseline",
+    "BaselineDiff",
+    "diff_against_baseline",
+    "format_json",
+    "format_text",
+]

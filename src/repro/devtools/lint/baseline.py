@@ -1,0 +1,96 @@
+"""Baselines: grandfather existing findings, fail only on new ones.
+
+A baseline is a checked-in JSON list of finding identities.  CI compares the
+current run against it: findings absent from the baseline are *new* and fail
+the gate; baseline entries no longer produced are *stale* and should be
+pruned (the code got cleaner — ratchet the baseline down, never up).
+
+Identity is content-based — ``(rule, path, stripped source line)`` — so pure
+line-number drift does not invalidate the baseline.  Duplicate identities are
+counted: if a file gains a *second* copy of an already-baselined pattern, the
+extra occurrence is still reported as new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .framework import Finding
+
+__all__ = ["Baseline", "BaselineDiff", "diff_against_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The checked-in set of grandfathered findings."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries=Counter(f.key() for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries: Counter = Counter()
+        for entry in data.get("entries", []):
+            key = (entry["rule"], entry["path"], entry["context"])
+            entries[key] += int(entry.get("count", 1))
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        serialized = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {"rule": rule, "path": file_path, "context": context, "count": count}
+                for (rule, file_path, context), count in sorted(self.entries.items())
+            ],
+        }
+        Path(path).write_text(json.dumps(serialized, indent=2) + "\n")
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclass
+class BaselineDiff:
+    """Current findings split against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    #: Baseline identities the current run no longer produces.
+    stale: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the gate passes: nothing new (stale entries only warn)."""
+        return not self.new
+
+
+def diff_against_baseline(findings: Iterable[Finding], baseline: Baseline) -> BaselineDiff:
+    """Split ``findings`` into new vs. grandfathered, and report stale entries."""
+    remaining = Counter(baseline.entries)
+    diff = BaselineDiff()
+    for finding in findings:
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            diff.grandfathered.append(finding)
+        else:
+            diff.new.append(finding)
+    diff.stale = sorted(key for key, count in remaining.items() if count > 0 for _ in range(count))
+    return diff

@@ -1,0 +1,284 @@
+"""Core of the lint engine: findings, rule registry, suppression, runner.
+
+The engine is deliberately small: one :mod:`ast` parse per file, a registry of
+:class:`LintRule` subclasses (each a pure function of the parsed module), and
+line-level ``# repro: noqa[RULE]`` suppressions.  Rules report
+:class:`Finding` objects whose identity is *content-based* — ``(rule, path,
+source line)`` — so a checked-in baseline survives unrelated edits that only
+shift line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleSource",
+    "RULES",
+    "register_rule",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "is_test_path",
+]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[REP001,REP004]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding.
+
+    ``context`` is the stripped source line the finding points at; together
+    with ``rule`` and ``path`` it forms the stable identity used for baseline
+    matching (line numbers drift, source lines rarely do).
+    """
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str  # posix-style, as passed to the linter
+    line: int
+    col: int
+    message: str
+    context: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class ModuleSource:
+    """One parsed module plus the lookups every rule needs.
+
+    Parsing, import-alias resolution and noqa extraction happen once here;
+    rules stay pure AST walks.
+    """
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = str(PurePosixPath(Path(path).as_posix()))
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        # One traversal serves every rule: a flat node list plus parent
+        # pointers (linting is CI-hot; N rules x ast.walk was the bottleneck).
+        self.nodes: list[ast.AST] = []
+        stack: list[ast.AST] = [self.tree]
+        while stack:
+            node = stack.pop()
+            self.nodes.append(node)
+            for child in ast.iter_child_nodes(node):
+                child._lint_parent = node  # type: ignore[attr-defined]
+                stack.append(child)
+        self._suppressions = self._extract_suppressions()
+        self.import_aliases = self._extract_import_aliases()
+        self.is_test = is_test_path(self.path)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return getattr(node, "_lint_parent", None)
+
+    def enclosing(self, node: ast.AST, kinds: tuple[type, ...]) -> ast.AST | None:
+        """Nearest ancestor of one of ``kinds`` (or None)."""
+        current = self.parent(node)
+        while current is not None and not isinstance(current, kinds):
+            current = self.parent(current)
+        return current
+
+    # ------------------------------------------------------------ suppression
+    def _extract_suppressions(self) -> dict[int, frozenset[str] | None]:
+        """Map line number -> suppressed rule set (``None`` = all rules)."""
+        out: dict[int, frozenset[str] | None] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _NOQA_RE.search(line)
+            if not match:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                out[lineno] = None
+            else:
+                out[lineno] = frozenset(r.strip() for r in rules.split(",") if r.strip())
+        return out
+
+    def is_suppressed(self, rule: str, lineno: int) -> bool:
+        if lineno not in self._suppressions:
+            return False
+        rules = self._suppressions[lineno]
+        return rules is None or rule in rules
+
+    # ---------------------------------------------------------------- imports
+    def _extract_import_aliases(self) -> dict[str, str]:
+        """Local name -> fully qualified dotted origin, for top-level imports."""
+        aliases: dict[str, str] = {}
+        for node in self.nodes:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def resolve_dotted(self, node: ast.AST) -> str | None:
+        """Resolve ``np.random.default_rng`` to ``numpy.random.default_rng``.
+
+        Follows the module's import aliases for the leading name; returns
+        ``None`` for expressions that are not plain dotted names.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self.import_aliases.get(node.id, node.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    # ---------------------------------------------------------------- helpers
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: "LintRule", node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.code,
+            severity=rule.severity,
+            path=self.path,
+            line=lineno,
+            col=col,
+            message=message,
+            context=self.source_line(lineno),
+        )
+
+
+class LintRule:
+    """Base class for project rules; subclass and :func:`register_rule`."""
+
+    code: str = "REP000"
+    name: str = "unnamed"
+    severity: str = "error"
+    description: str = ""
+    #: Which files the rule looks at: "library" (non-test), "test", or "all".
+    scope: str = "library"
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        if self.scope == "all":
+            return True
+        if self.scope == "test":
+            return module.is_test
+        return not module.is_test
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+RULES: dict[str, LintRule] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule instance to the global registry."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls()
+    return cls
+
+
+def is_test_path(path: str) -> bool:
+    """Test code gets different rules (REP005) than library code (REP001-4)."""
+    parts = PurePosixPath(path).parts
+    name = PurePosixPath(path).name
+    return (
+        "tests" in parts
+        or "benchmarks" in parts
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def lint_source(
+    text: str, path: str = "<memory>", rules: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint one module's source text; the unit the fixture tests drive."""
+    module = ModuleSource(path, text)
+    selected = [RULES[code] for code in rules] if rules is not None else list(RULES.values())
+    findings: list[Finding] = []
+    for rule in selected:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[str], rules: Iterable[str] | None = None) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            text = file_path.read_text()
+        except OSError as exc:
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        try:
+            report.findings.extend(lint_source(text, str(file_path), rules=rules))
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        report.files_checked += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,62 @@
+"""Human and machine renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import BaselineDiff
+from .framework import LintReport
+
+__all__ = ["format_text", "format_json"]
+
+
+def format_text(report: LintReport, diff: BaselineDiff | None = None) -> str:
+    """The human reporter: one line per finding plus a summary."""
+    lines: list[str] = []
+    new_keys = None
+    if diff is not None:
+        new_ids = {id(f) for f in diff.new}
+        new_keys = new_ids
+    for finding in report.findings:
+        marker = ""
+        if new_keys is not None:
+            marker = " [new]" if id(finding) in new_keys else " [baseline]"
+        lines.append(finding.render() + marker)
+    for error in report.parse_errors:
+        lines.append(f"parse error: {error}")
+    if diff is not None and diff.stale:
+        for rule, path, context in diff.stale:
+            lines.append(
+                f"stale baseline entry: {rule} {path} ({context!r}) — "
+                "no longer produced; prune it with --write-baseline"
+            )
+    counts = ", ".join(f"{rule}: {n}" for rule, n in report.counts_by_rule().items())
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_checked} file(s)"
+        + (f" ({counts})" if counts else "")
+    )
+    if diff is not None:
+        summary += f"; {len(diff.new)} new, {len(diff.grandfathered)} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport, diff: BaselineDiff | None = None) -> str:
+    """The machine reporter consumed by the CI gate."""
+    payload = {
+        "files_checked": report.files_checked,
+        "parse_errors": report.parse_errors,
+        "counts_by_rule": report.counts_by_rule(),
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    if diff is not None:
+        payload["new"] = [f.to_dict() for f in diff.new]
+        payload["grandfathered"] = [f.to_dict() for f in diff.grandfathered]
+        payload["stale_baseline_entries"] = [
+            {"rule": rule, "path": path, "context": context}
+            for rule, path, context in diff.stale
+        ]
+        payload["clean"] = diff.clean
+    else:
+        payload["clean"] = not report.findings
+    return json.dumps(payload, indent=2)

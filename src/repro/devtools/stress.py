@@ -1,0 +1,153 @@
+"""Scheduling-jitter stress harness for the concurrency regression tests.
+
+Races hide behind friendly schedulers: a test that passes 1000 times on an
+idle machine can still harbor a window a production burst will hit.  The
+harness widens those windows two ways:
+
+- :func:`switch_interval` shrinks the interpreter's thread switch interval so
+  the scheduler preempts threads orders of magnitude more often;
+- :class:`StressHarness` runs a workload from several threads behind a start
+  barrier (maximum contention at t=0) and exposes :meth:`StressHarness.pause`,
+  a deterministic pseudo-random micro-sleep that a :class:`~repro.devtools.racecheck.RaceMonitor`
+  injects before every traced lock acquisition.
+
+Determinism: the jitter stream is seeded, so a failure reproduces with the
+same seed — the scheduling itself stays nondeterministic, but the injected
+perturbation pattern does not add run-to-run variance of its own.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["switch_interval", "StressHarness", "StressReport"]
+
+
+@contextlib.contextmanager
+def switch_interval(seconds: float = 1e-5):
+    """Temporarily shrink the interpreter thread switch interval."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(seconds)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+@dataclass
+class StressReport:
+    """Outcome of one stress run."""
+
+    threads: int
+    iterations: int
+    wall_seconds: float
+    errors: list[BaseException] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def total_calls(self) -> int:
+        return self.threads * self.iterations
+
+
+class StressHarness:
+    """Run ``fn(worker, iteration)`` from many threads under jitter.
+
+    Parameters
+    ----------
+    threads:
+        Concurrent workers.
+    iterations:
+        Calls per worker.
+    jitter_seconds:
+        Upper bound of each injected micro-sleep; 0 disables sleeping (the
+        barrier and switch interval still apply).
+    seed:
+        Seed of the jitter stream (one derived stream per thread, so the
+        pattern is stable regardless of thread interleaving).
+    """
+
+    def __init__(
+        self,
+        threads: int = 4,
+        iterations: int = 25,
+        jitter_seconds: float = 2e-4,
+        seed: int = 0,
+    ) -> None:
+        if threads < 1 or iterations < 1:
+            raise ValueError("threads and iterations must be >= 1")
+        self.threads = threads
+        self.iterations = iterations
+        self.jitter_seconds = jitter_seconds
+        self.seed = seed
+        self._local = threading.local()
+
+    # ---------------------------------------------------------------- jitter
+    def _rng(self) -> random.Random:
+        rng = getattr(self._local, "rng", None)
+        if rng is None:
+            # Derive a per-thread stream: stable pattern per worker without
+            # cross-thread shared RNG state (REP001's lesson applies here too).
+            worker = getattr(self._local, "worker", threading.get_ident())
+            rng = self._local.rng = random.Random(self.seed * 1_000_003 + worker)
+        return rng
+
+    def pause(self) -> None:
+        """One jitter point: a pseudo-random micro-sleep (maybe zero).
+
+        Pass this as the ``jitter`` hook of a
+        :class:`~repro.devtools.racecheck.RaceMonitor` to perturb every traced
+        lock acquisition, or call it directly inside a workload.
+        """
+        if self.jitter_seconds <= 0:
+            return
+        rng = self._rng()
+        # Sleep only ~half the time: alternating run/yield maximises the
+        # chance that two threads interleave *inside* critical regions.
+        if rng.random() < 0.5:
+            time.sleep(rng.random() * self.jitter_seconds)
+
+    # ------------------------------------------------------------------ run
+    def run(self, fn: Callable[[int, int], object]) -> StressReport:
+        """Run the workload; exceptions from any worker fail the report."""
+        barrier = threading.Barrier(self.threads)
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            self._local.worker = index
+            self._local.rng = None
+            barrier.wait()
+            for iteration in range(self.iterations):
+                try:
+                    fn(index, iteration)
+                except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+                    with errors_lock:
+                        errors.append(exc)
+                    return
+                self.pause()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"stress-{i}")
+            for i in range(self.threads)
+        ]
+        started = time.perf_counter()
+        with switch_interval():
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return StressReport(
+            threads=self.threads,
+            iterations=self.iterations,
+            wall_seconds=time.perf_counter() - started,
+            errors=errors,
+        )

@@ -1,19 +1,34 @@
-"""Weight initializers for the NumPy CNN framework."""
+"""Weight initializers for the NumPy CNN framework.
+
+Every initializer takes an explicit ``np.random.Generator``; model builders
+thread one generator through all their layers so a model's weights are a pure
+function of its seed.  When no generator is passed, each call falls back to a
+*fresh* deterministic stream (seed 0) — unlike the shared module-level stream
+this package used to keep, the values drawn can never depend on how many
+layers other code happened to build first (the root cause of an
+order-dependent flaky training test, now REP001 in ``repro.devtools.lint``).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["kaiming_uniform", "xavier_uniform", "normal_init"]
+__all__ = ["kaiming_uniform", "xavier_uniform", "normal_init", "default_init_rng"]
 
-_DEFAULT_RNG = np.random.default_rng(0)
+#: Seed of the per-call fallback stream used when no generator is injected.
+DEFAULT_INIT_SEED = 0
+
+
+def default_init_rng() -> np.random.Generator:
+    """A fresh deterministic generator for callers that did not inject one."""
+    return np.random.default_rng(DEFAULT_INIT_SEED)
 
 
 def kaiming_uniform(
     shape: tuple[int, ...], fan_in: int, rng: np.random.Generator | None = None
 ) -> np.ndarray:
     """Kaiming/He uniform initialization suited to ReLU-family networks."""
-    rng = rng if rng is not None else _DEFAULT_RNG
+    rng = rng if rng is not None else default_init_rng()
     bound = np.sqrt(6.0 / max(fan_in, 1))
     return rng.uniform(-bound, bound, size=shape).astype(np.float32)
 
@@ -22,7 +37,7 @@ def xavier_uniform(
     shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator | None = None
 ) -> np.ndarray:
     """Xavier/Glorot uniform initialization."""
-    rng = rng if rng is not None else _DEFAULT_RNG
+    rng = rng if rng is not None else default_init_rng()
     bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
     return rng.uniform(-bound, bound, size=shape).astype(np.float32)
 
@@ -31,5 +46,5 @@ def normal_init(
     shape: tuple[int, ...], std: float = 0.01, rng: np.random.Generator | None = None
 ) -> np.ndarray:
     """Zero-mean Gaussian initialization with a configurable std."""
-    rng = rng if rng is not None else _DEFAULT_RNG
+    rng = rng if rng is not None else default_init_rng()
     return (rng.standard_normal(size=shape) * std).astype(np.float32)

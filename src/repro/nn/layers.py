@@ -64,7 +64,9 @@ class Layer:
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
         self.training: bool = False
-        self._cache: dict[str, object] = {}
+        # Per-forward backward-pass scratch, overwritten on every forward and
+        # cleared by the serving layer — not a memo.
+        self._cache: dict[str, object] = {}  # repro: noqa[REP004]
 
     # ------------------------------------------------------------------ API
     def forward(self, *inputs: np.ndarray) -> np.ndarray:
@@ -576,7 +578,15 @@ class Identity(Layer):
 
 
 class Dropout(Layer):
-    """Inverted dropout; a no-op in inference mode."""
+    """Inverted dropout; a no-op in inference mode.
+
+    Mask randomness is per instance: pass a generator to control it (model
+    builders thread one through so sibling dropout layers draw *different*
+    mask sequences); without one, the layer lazily creates its own
+    deterministic stream on the first training-mode forward — inference-only
+    pipelines never allocate RNG state, and no stream is ever shared between
+    instances.
+    """
 
     produces_feature_map = False
 
@@ -585,12 +595,14 @@ class Dropout(Layer):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._cache = {"mask": None}
             return x
+        if self._rng is None:
+            self._rng = np.random.default_rng(0)
         mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
         self._cache = {"mask": mask}
         return x * mask

@@ -1,0 +1,70 @@
+"""Baseline persistence and diffing: the ratchet CI turns."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.lint import Baseline, diff_against_baseline
+from repro.devtools.lint.framework import Finding
+
+
+def finding(rule="REP001", path="src/x.py", context="x = rng()", line=1) -> Finding:
+    return Finding(rule, "error", path, line, 0, "msg", context=context)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        baseline = Baseline.from_findings([finding(), finding(rule="REP004", context="m = {}")])
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.entries == baseline.entries
+        assert len(loaded) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_duplicate_identities_are_counted(self, tmp_path):
+        baseline = Baseline.from_findings([finding(line=1), finding(line=50)])
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        assert Baseline.load(target).entries[finding().key()] == 2
+
+    def test_unknown_version_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(target)
+
+
+class TestDiff:
+    def test_unbaselined_finding_is_new(self):
+        diff = diff_against_baseline([finding()], Baseline())
+        assert len(diff.new) == 1
+        assert not diff.clean
+
+    def test_baselined_finding_is_grandfathered(self):
+        baseline = Baseline.from_findings([finding(line=10)])
+        diff = diff_against_baseline([finding(line=42)], baseline)  # line drift is fine
+        assert diff.new == []
+        assert len(diff.grandfathered) == 1
+        assert diff.clean
+
+    def test_second_copy_of_baselined_pattern_is_still_new(self):
+        baseline = Baseline.from_findings([finding()])
+        diff = diff_against_baseline([finding(line=1), finding(line=2)], baseline)
+        assert len(diff.grandfathered) == 1
+        assert len(diff.new) == 1
+        assert not diff.clean
+
+    def test_unmatched_baseline_entry_is_stale(self):
+        baseline = Baseline.from_findings([finding(), finding(rule="REP006", context="__all__")])
+        diff = diff_against_baseline([finding()], baseline)
+        assert diff.stale == [("REP006", "src/x.py", "__all__")]
+        assert diff.clean  # stale entries warn, they do not fail the gate
+
+    def test_empty_run_against_empty_baseline_is_clean(self):
+        diff = diff_against_baseline([], Baseline())
+        assert diff.clean and not diff.stale

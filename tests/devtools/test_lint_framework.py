@@ -1,0 +1,92 @@
+"""Engine mechanics: suppressions, finding identity, file discovery."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.lint import lint_paths, lint_source
+from repro.devtools.lint.framework import Finding, is_test_path
+
+RNG_AT_MODULE_LEVEL = "import numpy as np\n_RNG = np.random.default_rng(0)\n"
+
+
+# --------------------------------------------------------------- suppression
+class TestNoqa:
+    def test_targeted_noqa_suppresses_the_named_rule(self):
+        src = "import numpy as np\n_RNG = np.random.default_rng(0)  # repro: noqa[REP001]\n"
+        assert lint_source(src, path="src/x.py") == []
+
+    def test_bare_noqa_suppresses_all_rules(self):
+        src = "import numpy as np\n_RNG = np.random.default_rng(0)  # repro: noqa\n"
+        assert lint_source(src, path="src/x.py") == []
+
+    def test_noqa_for_a_different_rule_does_not_suppress(self):
+        src = "import numpy as np\n_RNG = np.random.default_rng(0)  # repro: noqa[REP004]\n"
+        assert [f.rule for f in lint_source(src, path="src/x.py")] == ["REP001"]
+
+    def test_noqa_on_a_different_line_does_not_suppress(self):
+        src = "# repro: noqa[REP001]\nimport numpy as np\n_RNG = np.random.default_rng(0)\n"
+        assert [f.rule for f in lint_source(src, path="src/x.py")] == ["REP001"]
+
+    def test_multi_rule_noqa(self):
+        src = textwrap.dedent(
+            """
+            import numpy as np
+
+            _rng_cache = np.random.default_rng(0)  # repro: noqa[REP001, REP004]
+            """
+        )
+        assert lint_source(src, path="src/x.py") == []
+
+
+# ------------------------------------------------------------------ identity
+class TestFindingIdentity:
+    def test_key_is_content_based(self):
+        a = Finding("REP001", "error", "src/x.py", 10, 0, "msg", context="x = 1")
+        b = Finding("REP001", "error", "src/x.py", 99, 4, "other msg", context="x = 1")
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_rule_path_and_context(self):
+        base = Finding("REP001", "error", "src/x.py", 1, 0, "m", context="x = 1")
+        assert base.key() != Finding("REP002", "error", "src/x.py", 1, 0, "m", "x = 1").key()
+        assert base.key() != Finding("REP001", "error", "src/y.py", 1, 0, "m", "x = 1").key()
+        assert base.key() != Finding("REP001", "error", "src/x.py", 1, 0, "m", "y = 2").key()
+
+    def test_context_captures_the_stripped_source_line(self):
+        findings = lint_source(RNG_AT_MODULE_LEVEL, path="src/x.py")
+        assert findings[0].context == "_RNG = np.random.default_rng(0)"
+
+
+# ----------------------------------------------------------- file discovery
+class TestLintPaths:
+    def test_directory_walk_and_counts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "dirty.py").write_text(RNG_AT_MODULE_LEVEL)
+        (tmp_path / "pkg" / "clean.py").write_text("def f():\n    return 1\n")
+        report = lint_paths([str(tmp_path)])
+        assert report.files_checked == 2
+        assert [f.rule for f in report.findings] == ["REP001"]
+        assert report.counts_by_rule() == {"REP001": 1}
+
+    def test_single_file_path(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text(RNG_AT_MODULE_LEVEL)
+        report = lint_paths([str(target)])
+        assert report.files_checked == 1
+        assert len(report.findings) == 1
+
+    def test_syntax_error_recorded_not_raised(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        report = lint_paths([str(tmp_path)])
+        assert report.files_checked == 1
+        assert len(report.parse_errors) == 1
+        assert "broken.py" in report.parse_errors[0]
+
+    def test_test_path_classification(self):
+        assert is_test_path("tests/nn/test_layers.py")
+        assert is_test_path("benchmarks/test_bench_fig1_latency.py")
+        assert is_test_path("tests/conftest.py")
+        assert is_test_path("test_standalone.py")
+        assert not is_test_path("src/repro/nn/layers.py")
+        assert not is_test_path("src/repro/testing_utils.py")

@@ -1,0 +1,114 @@
+"""The CI gate end-to-end: the repo is clean, and the CLI enforces it.
+
+The meta-tests here are the in-suite mirror of the ``static-analysis`` CI
+job: ``src/`` must be clean against the shipped baseline, and the test tree
+must not draw from the global NumPy RNG (REP005).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.__main__ import main
+from repro.devtools.lint import Baseline, diff_against_baseline, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY = "import numpy as np\n_RNG = np.random.default_rng(0)\n"
+CLEAN = "def f():\n    return 1\n"
+
+
+# ------------------------------------------------------------------ meta
+class TestRepoIsClean:
+    def test_src_is_clean_against_shipped_baseline(self):
+        report = lint_paths([str(REPO_ROOT / "src")])
+        assert report.parse_errors == []
+        baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+        diff = diff_against_baseline(report.findings, baseline)
+        assert diff.new == [], "\n".join(f.render() for f in diff.new)
+
+    def test_shipped_baseline_has_no_stale_entries(self):
+        report = lint_paths([str(REPO_ROOT / "src")])
+        baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+        diff = diff_against_baseline(report.findings, baseline)
+        assert diff.stale == []
+
+    def test_tests_do_not_draw_from_global_rng(self):
+        report = lint_paths(
+            [str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")], rules=["REP005"]
+        )
+        assert report.findings == [], "\n".join(f.render() for f in report.findings)
+
+
+# ------------------------------------------------------------------- CLI
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        code = main(["lint", str(tmp_path), "--no-baseline"])
+        assert code == 0
+        assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+    def test_new_finding_exits_one(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        code = main(["lint", str(tmp_path), "--baseline", str(tmp_path / "baseline.json")])
+        assert code == 1
+        assert "[new]" in capsys.readouterr().out
+
+    def test_baselined_finding_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(tmp_path), "--baseline", str(baseline), "--write-baseline"]) == 1
+        capsys.readouterr()
+        code = main(["lint", str(tmp_path), "--baseline", str(baseline)])
+        assert code == 0
+        assert "[baseline]" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        code = main(
+            [
+                "lint",
+                str(tmp_path),
+                "--format=json",
+                "--baseline",
+                str(tmp_path / "baseline.json"),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["counts_by_rule"] == {"REP001": 1}
+        assert payload["new"][0]["rule"] == "REP001"
+
+    def test_parse_error_fails_the_gate(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        code = main(["lint", str(tmp_path), "--no-baseline"])
+        assert code == 1
+        assert "parse error" in capsys.readouterr().out
+
+    def test_rule_selection(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        code = main(["lint", str(tmp_path), "--no-baseline", "--rules", "REP006"])
+        assert code == 0
+        capsys.readouterr()
+
+
+class TestRacecheckCli:
+    def test_racecheck_passes_on_real_primitives(self, capsys):
+        code = main(["racecheck", "--threads", "3", "--iterations", "12"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "selftest: seeded ABBA inversion detected" in out
+        assert "racecheck: OK" in out
+
+
+class TestBenchCli:
+    def test_bench_writes_snapshot(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        out_file = tmp_path / "BENCH_devtools.json"
+        code = main(["bench", str(tmp_path), "--out", str(out_file), "--repeats", "1"])
+        assert code == 0
+        snapshot = json.loads(out_file.read_text())
+        assert snapshot["files_checked"] == 1
+        assert snapshot["wall_seconds_best"] > 0

@@ -1,0 +1,188 @@
+"""Runtime race detector: lock-order graph, shared-state tracing,
+instrumentation of live serving objects."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.devtools.racecheck import RaceMonitor, TracedLock, instrument
+from repro.devtools.stress import StressHarness
+from repro.serving import InferenceEngine, PipelineCache
+
+
+# ------------------------------------------------------------- lock order
+class TestLockOrderGraph:
+    def test_seeded_abba_inversion_detected(self):
+        """The acceptance fixture: conflicting acquisition orders must be
+        caught even though the run itself never deadlocks."""
+        monitor = RaceMonitor()
+        a, b = monitor.lock("A"), monitor.lock("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        cycles = monitor.lock_order_cycles()
+        assert cycles, "ABBA inversion was not detected"
+        assert any("A" in cycle and "B" in cycle for cycle in cycles)
+        report = monitor.report()
+        assert not report.ok
+        assert report.findings[0].kind == "lock-order-inversion"
+
+    def test_consistent_order_is_clean(self):
+        monitor = RaceMonitor()
+        a, b = monitor.lock("A"), monitor.lock("B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert monitor.lock_order_cycles() == []
+        assert monitor.report().ok
+
+    def test_three_lock_cycle_detected(self):
+        monitor = RaceMonitor()
+        a, b, c = monitor.lock("A"), monitor.lock("B"), monitor.lock("C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass
+        cycles = monitor.lock_order_cycles()
+        assert any(len(set(cycle)) == 3 for cycle in cycles)
+
+    def test_leaf_locks_produce_no_edges(self):
+        monitor = RaceMonitor()
+        a, b = monitor.lock("A"), monitor.lock("B")
+        with a:
+            pass
+        with b:
+            pass
+        assert monitor.report().lock_edges == []
+
+
+class TestTracedLock:
+    def test_lock_protocol(self):
+        monitor = RaceMonitor()
+        lock = monitor.lock("L")
+        assert lock.acquire() is True
+        assert lock.locked()
+        lock.release()
+        assert not lock.locked()
+        with lock:
+            assert monitor.held_locks() == ("L",)
+        assert monitor.held_locks() == ()
+
+    def test_failed_nonblocking_acquire_not_recorded_as_held(self):
+        monitor = RaceMonitor()
+        lock = monitor.lock("L")
+        lock.acquire()
+        grabbed = {}
+
+        def try_acquire():
+            grabbed["ok"] = lock.acquire(blocking=False)
+            grabbed["held"] = monitor.held_locks()
+
+        thread = threading.Thread(target=try_acquire)
+        thread.start()
+        thread.join()
+        lock.release()
+        assert grabbed["ok"] is False
+        assert grabbed["held"] == ()
+
+    def test_wrap_preserves_the_original_lock_object(self):
+        monitor = RaceMonitor()
+        inner = threading.Lock()
+        traced = monitor.wrap(inner, "wrapped")
+        with traced:
+            assert inner.locked()
+        assert not inner.locked()
+
+
+# ----------------------------------------------------------- shared state
+class TestUnguardedState:
+    def _access_from_threads(self, monitor, with_lock):
+        lock = monitor.lock("guard")
+
+        def touch():
+            if with_lock:
+                with lock:
+                    monitor.record_access("counter")
+            else:
+                monitor.record_access("counter")
+
+        threads = [threading.Thread(target=touch) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_two_threads_no_lock_flagged(self):
+        monitor = RaceMonitor()
+        self._access_from_threads(monitor, with_lock=False)
+        findings = monitor.unguarded_states()
+        assert [f.kind for f in findings] == ["unguarded-shared-state"]
+        assert findings[0].subject == "counter"
+
+    def test_common_lock_is_clean(self):
+        monitor = RaceMonitor()
+        self._access_from_threads(monitor, with_lock=True)
+        assert monitor.unguarded_states() == []
+
+    def test_single_thread_is_clean(self):
+        monitor = RaceMonitor()
+        monitor.record_access("counter")
+        monitor.record_access("counter")
+        assert monitor.unguarded_states() == []
+
+
+# --------------------------------------------------------- instrumentation
+class TestInstrument:
+    def test_swaps_lock_attributes_on_live_objects(self):
+        cache = PipelineCache(factory=lambda key: object(), capacity=2)
+        monitor = instrument([cache])
+        assert isinstance(cache._lock, TracedLock)
+        assert cache._lock.name == "PipelineCache._lock"
+        cache.get("m")  # exercise the traced lock through the real code path
+        assert "PipelineCache._lock" in monitor.report().locks_seen
+
+    def test_real_cache_is_clean_under_stress(self):
+        """The detector must NOT cry wolf on the real, correctly locked
+        PipelineCache — the other half of the acceptance criterion."""
+        cache = PipelineCache(factory=lambda key: object(), capacity=2)
+        harness = StressHarness(threads=4, iterations=20, seed=3)
+        monitor = instrument([cache], RaceMonitor(jitter=harness.pause))
+
+        def workload(worker, iteration):
+            cache.get(f"model-{(worker + iteration) % 3}")
+            if iteration % 7 == 0:
+                cache.stats()
+
+        report = harness.run(workload)
+        assert report.ok
+        race_report = monitor.report()
+        assert race_report.ok, race_report.render()
+
+    def test_real_engine_is_clean_under_concurrent_submits(self, compiled_mobilenet, rng):
+        x = rng.standard_normal((3, 3, 32, 32)).astype(np.float32)
+        with InferenceEngine(
+            compiled_mobilenet, max_batch_size=2, batch_timeout_s=0.002
+        ) as engine:
+            monitor = instrument([engine, compiled_mobilenet])
+            harness = StressHarness(threads=3, iterations=4, jitter_seconds=1e-4, seed=5)
+            monitor.jitter = harness.pause
+
+            def workload(worker, iteration):
+                engine.submit(x[iteration % 3]).result(timeout=30)
+
+            report = harness.run(workload)
+        assert report.ok, report.errors
+        race_report = monitor.report()
+        assert race_report.ok, race_report.render()
+        assert any("InferenceEngine" in name for name in race_report.locks_seen)

@@ -1,0 +1,64 @@
+"""Stress harness: barrier start, jitter injection, error propagation."""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.devtools.stress import StressHarness, switch_interval
+
+
+class TestSwitchInterval:
+    def test_restores_previous_interval(self):
+        before = sys.getswitchinterval()
+        with switch_interval(1e-5):
+            assert sys.getswitchinterval() == pytest.approx(1e-5)
+        assert sys.getswitchinterval() == pytest.approx(before)
+
+    def test_restores_on_exception(self):
+        before = sys.getswitchinterval()
+        with pytest.raises(RuntimeError):
+            with switch_interval(1e-5):
+                raise RuntimeError("boom")
+        assert sys.getswitchinterval() == pytest.approx(before)
+
+
+class TestStressHarness:
+    def test_runs_every_worker_iteration(self):
+        harness = StressHarness(threads=3, iterations=5, jitter_seconds=0)
+        calls: set[tuple[int, int]] = set()
+        lock = threading.Lock()
+
+        def workload(worker, iteration):
+            with lock:
+                calls.add((worker, iteration))
+
+        report = harness.run(workload)
+        assert report.ok
+        assert report.total_calls == 15
+        assert len(calls) == 15
+        assert report.wall_seconds > 0
+
+    def test_worker_exception_fails_the_report(self):
+        harness = StressHarness(threads=2, iterations=3, jitter_seconds=0)
+
+        def workload(worker, iteration):
+            if worker == 1 and iteration == 1:
+                raise ValueError("injected")
+
+        report = harness.run(workload)
+        assert not report.ok
+        assert isinstance(report.errors[0], ValueError)
+
+    def test_pause_is_bounded_and_safe_without_jitter(self):
+        harness = StressHarness(threads=1, iterations=1, jitter_seconds=0)
+        for _ in range(10):
+            harness.pause()  # must be a no-op, not an error
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            StressHarness(threads=0)
+        with pytest.raises(ValueError):
+            StressHarness(iterations=0)

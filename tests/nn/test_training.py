@@ -82,11 +82,13 @@ class TestOptimizers:
 
 class TestFit:
     def test_fit_learns_separable_task(self, rng):
-        # Explicitly seeded init: layers built without an rng draw from the
-        # shared module-level default stream, whose position depends on how
-        # many layers earlier tests built (the hypothesis-driven property
-        # sweeps vary run to run) — convergence from an arbitrary init is not
-        # guaranteed, so this test was order-dependent flaky without it.
+        # Explicitly seeded init: convergence from an arbitrary init is not
+        # guaranteed, so the test pins its weights.  (Historically this was
+        # also load-bearing against order-dependent flakiness: initializers
+        # used to share a module-level default stream whose position depended
+        # on how many layers earlier tests built.  That stream is gone — each
+        # un-seeded layer now gets a fresh deterministic generator, and lint
+        # rule REP001 keeps shared streams out.)
         init = np.random.default_rng(3)
         g = Graph((2, 4, 4), name="sep")
         g.add(Conv2d(2, 4, 3, padding=1, rng=init), name="c")
