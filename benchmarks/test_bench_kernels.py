@@ -1,0 +1,42 @@
+"""Patch-kernel benchmark: emits ``BENCH_kernels.json`` (the perf-gate baseline).
+
+Times the PR 8 compute backends on the pinned configuration (MobileNetV2 at
+64x64, 8x8 patch grid) via :func:`repro.devtools.bench.run_kernel_bench`,
+which rewrites the checked-in ``BENCH_kernels.json`` snapshot.  The headline
+acceptance number is asserted here: the vectorized backend must keep the
+single-image patch stage at least 3x faster than the per-branch loop
+reference (measured ~4-5x on the dev container).
+
+Marked ``slow``: the quantize-and-measure cycle takes seconds, so tier-1
+``pytest -q`` skips it (``addopts = -m "not slow"``); run explicitly with
+``pytest benchmarks/test_bench_kernels.py -m slow`` or via
+``python -m repro.devtools kernel-bench``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.bench import compare_snapshots, run_kernel_bench
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUT = REPO_ROOT / "BENCH_kernels.json"
+
+#: ISSUE 8 acceptance floor for the single-image patch-stage speedup.
+MIN_PATCH_STAGE_SPEEDUP = 3.0
+
+
+@pytest.mark.slow
+def test_bench_patch_kernels(bench_once):
+    snapshot = bench_once(run_kernel_bench, out=str(OUT))
+    assert snapshot["patch_stage_speedup"] >= MIN_PATCH_STAGE_SPEEDUP
+    assert snapshot["forward_speedup"] > 1.0
+    assert snapshot["streaming_reuse_rate"] > 0.5  # the dirty corner stayed small
+    # The snapshot on disk is the one just produced, and it would pass the
+    # perf gate against itself (sanity for the CI wiring).
+    on_disk = json.loads(OUT.read_text())
+    assert on_disk["patch_stage_speedup"] == snapshot["patch_stage_speedup"]
+    assert compare_snapshots(snapshot, on_disk) == []

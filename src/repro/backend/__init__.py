@@ -1,0 +1,43 @@
+"""Pluggable compute backends for the patch stage.
+
+``repro.backend`` separates *what* patch-based inference computes (owned by
+:class:`repro.patch.executor.PatchExecutor`: the plan, the quantization
+hooks, the suffix) from *how* the dataflow branches are executed:
+
+``loop``
+    The serial per-branch reference — the bit-exactness oracle.
+``vectorized``
+    Geometry-grouped branches stacked into the batch dimension; one NumPy
+    call per layer per group, preallocated scratch buffers.  The default.
+``multiprocess``
+    Forked worker processes over shared memory, for GIL-free patch stages.
+
+All backends are bit-identical by contract (and by test).  Select one with
+``PatchExecutor(..., backend="loop")``, per pipeline via
+``CompiledPipeline.from_result(..., backend=...)``, or globally through the
+``REPRO_BACKEND`` environment variable.
+"""
+
+from .base import (
+    DEFAULT_BACKEND,
+    Backend,
+    BackendUnavailable,
+    ScratchArena,
+    available_backends,
+    make_backend,
+)
+from .loop import LoopBackend
+from .multiprocess import MultiprocessBackend
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "Backend",
+    "BackendUnavailable",
+    "LoopBackend",
+    "MultiprocessBackend",
+    "ScratchArena",
+    "VectorizedBackend",
+    "available_backends",
+    "make_backend",
+]

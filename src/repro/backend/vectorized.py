@@ -1,0 +1,408 @@
+"""Vectorized NumPy backend: geometry-grouped branches stacked into the batch.
+
+Branches whose region geometry is identical up to translation (interior
+patches of a grid, matching border patches, ...) are compiled into *groups*.
+Each group executes the patch stage over a stacked scratch buffer of shape
+``(g, n, C, H, W)`` per node — ``g`` group members side by side in a leading
+batch axis, ``H x W`` the node's *unclamped* demand region with the halo
+margins pinned to zero (exactly the zero padding
+:meth:`~repro.patch.executor.PatchExecutor._extract_padded` would have
+materialized per branch).  Per node, one NumPy call then covers the whole
+group: input gather, elementwise layers, pooling, depthwise convolutions and
+static quantization hooks all batch.
+
+The one deliberate exception: standard convolutions run **per member**.
+BLAS GEMM results are not bit-stable under operand stacking or sub-view
+execution — the reduction blocking changes with the output shape and with
+operand alignment (verified empirically on this container: a
+``matmul(col_view_block, w.T, out=view)`` over a stacked col matrix differs
+from the reference ``col @ w.T`` in degenerate shapes) — and the backend
+contract is bit-identity with the loop reference.  Per-member execution
+rebuilds the exact same freshly-allocated im2col matrix the reference builds,
+so the GEMM call is literally identical.  Pooling-style reductions are only
+batched at matching output-grid sizes for the same reason: ``sum`` over a
+window axis changes its accumulation strategy with the trailing extent.
+
+What remains per-branch is a thin Python loop around one large GEMM each —
+the per-branch dict bookkeeping, region slicing, ``np.pad`` calls, hook
+dispatch and small elementwise calls that dominated the loop reference are
+all hoisted into batched operations or compile-time recipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Identity,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+)
+from ..nn import functional as F
+from ..nn.graph import INPUT_NODE
+from ..patch.regions import backward_region
+from ..quant.quantizers import fake_quantize
+from .base import Backend
+
+__all__ = ["VectorizedBackend"]
+
+_SPATIAL = (Conv2d, DepthwiseConv2d, MaxPool2d, AvgPool2d)
+#: Elementwise layers proven safe to run on a merged ``(g*n, C, H, W)`` batch:
+#: no cross-element reductions, so batching cannot perturb float results.
+#: Anything else falls back to per-member ``forward`` calls (still batched
+#: gather/margins/hooks), which keeps correctness independent of the layer zoo.
+_STACK_SAFE_ELEMENTWISE = (
+    Add,
+    BatchNorm2d,
+    Concat,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+)
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One node of a group recipe (all offsets relative to scratch buffers)."""
+
+    name: str
+    layer: object
+    kind: str  # "input" | "conv" | "pool" | "eltwise"
+    shape: tuple[int, int, int]  # (C, H, W) of the unclamped scratch buffer
+    rect: tuple[int, int, int, int]  # clamped (computed) rect within the buffer
+    #: For conv/pool: one ``(src, r0, r1, c0, c1)`` window rect; for
+    #: elementwise: one exact rect per graph input.
+    src_rects: tuple[tuple, ...]
+    #: ("none",) | ("skip",) | ("batched", bits, lo, hi) | ("member", fm)
+    hook: tuple
+
+
+@dataclass
+class _Group:
+    """A set of geometry-identical branches plus their compiled recipe."""
+
+    index: int
+    members: list[int]  # patch_ids in plan order
+    steps: list[_Step] = field(default_factory=list)
+    split_step: int = -1
+
+
+class VectorizedBackend(Backend):
+    """Batched patch-stage execution (see module docstring)."""
+
+    name = "vectorized"
+
+    def __init__(self, executor) -> None:
+        super().__init__(executor)
+        self._groups: list[_Group] | None = None
+        self._group_of: dict[int, int] = {}
+
+    # ------------------------------------------------------------------- run
+    def run_branches(self, x, branch_ids):
+        self._ensure_compiled()
+        branches = self.plan.branches
+        tiles: dict[int, np.ndarray] = {}
+
+        def emit(patch_id: int, view: np.ndarray) -> None:
+            # Copy out of the (reused, thread-local) scratch: callers own tiles.
+            tiles[patch_id] = view.copy()
+
+        for group, subset in self._partition(branch_ids):
+            self._run_group(group, subset, x, emit)
+        return [(branches[i], tiles[i]) for i in branch_ids]
+
+    def run_patch_stage(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        self._ensure_compiled()
+        branches = self.plan.branches
+
+        def emit(patch_id: int, view: np.ndarray) -> None:
+            tile = branches[patch_id].output_region
+            out[:, :, tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] = view
+
+        all_ids = [branch.patch_id for branch in branches]
+        for group, subset in self._partition(all_ids):
+            self._run_group(group, subset, x, emit)
+        return out
+
+    def _partition(self, branch_ids):
+        """Split ``branch_ids`` into per-group subsets (plan order within each)."""
+        subsets: dict[int, list[int]] = {}
+        for patch_id in branch_ids:  # repro: noqa[REP007] - id bookkeeping only
+            subsets.setdefault(self._group_of[patch_id], []).append(patch_id)
+        return [(self._groups[gi], ids) for gi, ids in subsets.items()]
+
+    # ----------------------------------------------------------------- compile
+    def _ensure_compiled(self) -> None:
+        if self._groups is not None:
+            return
+        buckets: dict[tuple, list] = {}
+        for branch in self.plan.branches:  # repro: noqa[REP007] - one-time compile
+            buckets.setdefault(self._signature(branch), []).append(branch)
+        groups: list[_Group] = []
+        for members in buckets.values():
+            group = self._compile_group(len(groups), members)
+            for branch in members:
+                self._group_of[branch.patch_id] = group.index
+            groups.append(group)
+        self._groups = groups
+
+    def _node_order(self):
+        return [INPUT_NODE, *self.plan.prefix_nodes]
+
+    def _signature(self, branch) -> tuple:
+        """Geometry key: branches with equal signatures are translates of each
+        other at every node, so one recipe (buffer shapes, window offsets,
+        margin strips) serves them all."""
+        graph = self.plan.graph
+        parts = []
+        for name in self._node_order():
+            clamped = branch.clamped_regions.get(name)
+            if clamped is None:
+                parts.append((name,))
+                continue
+            unclamped = branch.node_regions[name]
+            entry = [
+                name,
+                unclamped.height,
+                unclamped.width,
+                clamped.row_start - unclamped.row_start,
+                clamped.row_stop - unclamped.row_start,
+                clamped.col_start - unclamped.col_start,
+                clamped.col_stop - unclamped.col_start,
+            ]
+            if name != INPUT_NODE:
+                node = graph.nodes[name]
+                layer = node.layer
+                if isinstance(layer, _SPATIAL):
+                    kernel, stride, padding = layer.spatial_params()
+                    desired = backward_region(clamped, kernel, stride, padding)
+                    src_un = branch.node_regions[node.inputs[0]]
+                    entry.append(desired.row_start - src_un.row_start)
+                    entry.append(desired.col_start - src_un.col_start)
+                else:
+                    for src in node.inputs:
+                        src_un = branch.node_regions[src]
+                        entry.append(clamped.row_start - src_un.row_start)
+                        entry.append(clamped.col_start - src_un.col_start)
+            parts.append(tuple(entry))
+        return tuple(parts)
+
+    def _compile_group(self, index: int, members: list) -> _Group:
+        plan = self.plan
+        graph = plan.graph
+        shapes = self.executor._shapes
+        rep = members[0]  # geometry representative; any member works
+        group = _Group(index=index, members=[b.patch_id for b in members])
+
+        for name in self._node_order():
+            clamped = rep.clamped_regions.get(name)
+            if clamped is None:
+                continue
+            unclamped = rep.node_regions[name]
+            rect = (
+                clamped.row_start - unclamped.row_start,
+                clamped.row_stop - unclamped.row_start,
+                clamped.col_start - unclamped.col_start,
+                clamped.col_stop - unclamped.col_start,
+            )
+            if name == INPUT_NODE:
+                channels = graph.input_shape[0]
+                step = _Step(
+                    name=name,
+                    layer=None,
+                    kind="input",
+                    shape=(channels, unclamped.height, unclamped.width),
+                    rect=rect,
+                    src_rects=(),
+                    hook=("none",),
+                )
+            else:
+                node = graph.nodes[name]
+                layer = node.layer
+                channels = shapes[name][0]
+                if isinstance(layer, _SPATIAL):
+                    kernel, stride, padding = layer.spatial_params()
+                    desired = backward_region(clamped, kernel, stride, padding)
+                    src = node.inputs[0]
+                    src_un = rep.node_regions[src]
+                    window = (
+                        src,
+                        desired.row_start - src_un.row_start,
+                        desired.row_stop - src_un.row_start,
+                        desired.col_start - src_un.col_start,
+                        desired.col_stop - src_un.col_start,
+                    )
+                    kind = "conv" if isinstance(layer, Conv2d) else "pool"
+                    src_rects = (window,)
+                else:
+                    kind = "eltwise"
+                    rects = []
+                    for src in node.inputs:
+                        src_un = rep.node_regions[src]
+                        rects.append(
+                            (
+                                src,
+                                clamped.row_start - src_un.row_start,
+                                clamped.row_stop - src_un.row_start,
+                                clamped.col_start - src_un.col_start,
+                                clamped.col_stop - src_un.col_start,
+                            )
+                        )
+                    src_rects = tuple(rects)
+                step = _Step(
+                    name=name,
+                    layer=layer,
+                    kind=kind,
+                    shape=(channels, unclamped.height, unclamped.width),
+                    rect=rect,
+                    src_rects=src_rects,
+                    hook=self._hook_mode(name, members),
+                )
+            if name == plan.split_output_node:
+                group.split_step = len(group.steps)
+            group.steps.append(step)
+        return group
+
+    def _hook_mode(self, name: str, members: list) -> tuple:
+        """Decide at compile time how the branch hook applies at ``name``.
+
+        Hooks built by :func:`repro.core.quantmcu.make_static_hooks` expose
+        ``static_params``; when every member's parameters are static and equal
+        the hook collapses into one elementwise ``fake_quantize`` over the
+        stacked buffer.  Any content-dependent or non-uniform case falls back
+        to calling the hook per member — on exactly the clamped region the
+        reference would have passed it.
+        """
+        executor = self.executor
+        fm = executor._fm_by_output.get(name)
+        if fm is None or executor.branch_hook is None:
+            return ("none",)
+        static = getattr(executor.branch_hook, "static_params", None)
+        if static is None:
+            return ("member", fm)
+        params = [static(branch.patch_id, fm.index) for branch in members]
+        if any(p is None for p in params):
+            return ("member", fm)
+        if all(p[0] >= 32 for p in params):
+            return ("skip",)
+        if any(p[0] >= 32 for p in params) or len(set(params)) > 1:
+            return ("member", fm)
+        bits, low, high = params[0]
+        return ("batched", bits, low, high)
+
+    # ----------------------------------------------------------------- execute
+    def _run_group(self, group: _Group, subset: list[int], x: np.ndarray, emit) -> None:
+        branches = self.plan.branches
+        members = [branches[patch_id] for patch_id in subset]
+        g = len(members)
+        n = x.shape[0]
+        bufs: dict[str, np.ndarray] = {}
+
+        for step in group.steps:
+            channels, height, width = step.shape
+            buf = self.scratch.take(
+                (group.index, step.name, g, n), (g, n, channels, height, width)
+            )
+            r0, r1, c0, c1 = step.rect
+
+            if step.kind == "input":
+                for slot, member in enumerate(members):
+                    region = member.clamped_regions[INPUT_NODE]
+                    buf[slot, :, :, r0:r1, c0:c1] = x[
+                        :, :, region.row_start : region.row_stop,
+                        region.col_start : region.col_stop,
+                    ]
+            elif step.kind == "conv":
+                src, d0, d1, d2, d3 = step.src_rects[0]
+                src_buf = bufs[src]
+                layer = step.layer
+                weight = layer.params["weight"]
+                bias = layer.params.get("bias")
+                # Per member by design: rebuilding the reference's fresh im2col
+                # matrix is the only GEMM execution proven bit-stable (above).
+                for slot in range(g):
+                    out, _ = F.conv2d_forward(
+                        src_buf[slot, :, :, d0:d1, d2:d3], weight, bias, layer.stride, 0
+                    )
+                    buf[slot, :, :, r0:r1, c0:c1] = out
+            elif step.kind == "pool":
+                src, d0, d1, d2, d3 = step.src_rects[0]
+                window = bufs[src][:, :, :, d0:d1, d2:d3]
+                merged = window.reshape(g * n, window.shape[2], d1 - d0, d3 - d2)
+                layer = step.layer
+                if isinstance(layer, DepthwiseConv2d):
+                    out, _ = F.depthwise_conv2d_forward(
+                        merged, layer.params["weight"], layer.params.get("bias"),
+                        layer.stride, 0,
+                    )
+                elif isinstance(layer, MaxPool2d):
+                    out, _ = F.maxpool2d_forward(merged, layer.kernel_size, layer.stride, 0)
+                else:
+                    out = F.avgpool2d_forward(merged, layer.kernel_size, layer.stride, 0)
+                buf[:, :, :, r0:r1, c0:c1] = out.reshape(g, n, *out.shape[1:])
+            else:  # eltwise
+                if isinstance(step.layer, _STACK_SAFE_ELEMENTWISE):
+                    views = []
+                    for src, e0, e1, e2, e3 in step.src_rects:
+                        src_view = bufs[src][:, :, :, e0:e1, e2:e3]
+                        views.append(
+                            src_view.reshape(g * n, src_view.shape[2], e1 - e0, e3 - e2)
+                        )
+                    out = step.layer.forward(*views)
+                    buf[:, :, :, r0:r1, c0:c1] = out.reshape(
+                        g, n, channels, r1 - r0, c1 - c0
+                    )
+                else:
+                    for slot in range(g):
+                        inputs = [
+                            bufs[src][slot, :, :, e0:e1, e2:e3]
+                            for src, e0, e1, e2, e3 in step.src_rects
+                        ]
+                        buf[slot, :, :, r0:r1, c0:c1] = step.layer.forward(*inputs)
+
+            # Pin the halo margins to zero: they stand for out-of-feature-map
+            # positions, which the reference materializes as zero padding at
+            # the consumer.  Done after every node because elementwise layers
+            # do not map zero to zero (BatchNorm shift, biases) and scratch
+            # buffers carry stale bytes between calls.
+            if r0 > 0:
+                buf[:, :, :, :r0, :] = 0.0
+            if r1 < height:
+                buf[:, :, :, r1:, :] = 0.0
+            if c0 > 0:
+                buf[:, :, :, r0:r1, :c0] = 0.0
+            if c1 < width:
+                buf[:, :, :, r0:r1, c1:] = 0.0
+
+            mode = step.hook[0]
+            if mode == "batched":
+                _, bits, low, high = step.hook
+                rect_view = buf[:, :, :, r0:r1, c0:c1]
+                rect_view[...] = fake_quantize(rect_view, bits, low, high)
+            elif mode == "member":
+                fm = step.hook[1]
+                hook = self.executor.branch_hook
+                for slot, member in enumerate(members):
+                    rect_view = buf[slot, :, :, r0:r1, c0:c1]
+                    buf[slot, :, :, r0:r1, c0:c1] = hook(member.patch_id, fm, rect_view)
+
+            bufs[step.name] = buf
+
+        split = group.steps[group.split_step]
+        r0, r1, c0, c1 = split.rect
+        split_buf = bufs[split.name]
+        for slot, member in enumerate(members):
+            emit(member.patch_id, split_buf[slot, :, :, r0:r1, c0:c1])

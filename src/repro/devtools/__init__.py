@@ -8,7 +8,7 @@ hazards.  The tooling turns those one-off audit findings into permanent,
 CI-enforced invariants:
 
 ``repro.devtools.lint``
-    An AST-based lint framework with six project rules (REP001–REP006),
+    An AST-based lint framework with seven project rules (REP001–REP007),
     ``# repro: noqa[RULE]`` suppressions, JSON/text reporters and a
     checked-in baseline for grandfathered findings.
 

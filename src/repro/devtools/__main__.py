@@ -12,14 +12,25 @@
 
 ``bench``
     Time the linter over ``src`` and write ``BENCH_devtools.json``.
+
+``kernel-bench``
+    Measure the patch-stage compute kernels (loop reference vs vectorized
+    backend, batched throughput, streaming reuse) and write
+    ``BENCH_kernels.json``.
+
+``perfgate``
+    Compare a fresh benchmark snapshot against the checked-in baseline and
+    exit 1 if any gated metric regressed by more than the tolerance.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
-from .bench import run_lint_bench
+from .bench import compare_snapshots, run_kernel_bench, run_lint_bench
 from .lint import (
     Baseline,
     diff_against_baseline,
@@ -35,6 +46,8 @@ __all__ = [
     "run_lint",
     "run_racecheck",
     "run_bench",
+    "run_kernel_bench_cli",
+    "run_perfgate",
     "abba_selftest",
     "cache_stress_scenario",
 ]
@@ -131,6 +144,35 @@ def run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_kernel_bench_cli(args: argparse.Namespace) -> int:
+    snapshot = run_kernel_bench(out=args.out, repeats=args.repeats)
+    print(
+        f"patch stage {snapshot['patch_stage_ms_loop']:.2f} ms loop -> "
+        f"{snapshot['patch_stage_ms_vectorized']:.2f} ms vectorized "
+        f"({snapshot['patch_stage_speedup']:.2f}x); "
+        f"forward {snapshot['forward_speedup']:.2f}x; "
+        f"batched {snapshot['batched_images_per_second']:.1f} img/s; "
+        f"wrote {args.out}"
+    )
+    return 0
+
+
+def run_perfgate(args: argparse.Namespace) -> int:
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures = compare_snapshots(current, baseline, max_regression=args.max_regression)
+    for metric in baseline.get("gate_metrics", []):
+        base_value, value = baseline.get(metric), current.get(metric)
+        if isinstance(base_value, (int, float)) and isinstance(value, (int, float)):
+            print(f"{metric}: baseline {base_value:.3f} -> fresh {value:.3f}")
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION {failure}")
+        return 1
+    print(f"perfgate: OK (tolerance {args.max_regression * 100:.0f}%)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools", description=__doc__
@@ -162,6 +204,26 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument("--out", default="BENCH_devtools.json")
     bench_parser.add_argument("--repeats", type=int, default=3)
     bench_parser.set_defaults(func=run_bench)
+
+    kernel_parser = sub.add_parser(
+        "kernel-bench", help="measure the patch kernels, write BENCH_kernels.json"
+    )
+    kernel_parser.add_argument("--out", default="BENCH_kernels.json")
+    kernel_parser.add_argument("--repeats", type=int, default=5)
+    kernel_parser.set_defaults(func=run_kernel_bench_cli)
+
+    gate_parser = sub.add_parser(
+        "perfgate", help="fail if a fresh snapshot regressed vs the baseline"
+    )
+    gate_parser.add_argument("current", help="freshly measured snapshot JSON")
+    gate_parser.add_argument("--baseline", default="BENCH_kernels.json")
+    gate_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop per gated metric (default 0.20)",
+    )
+    gate_parser.set_defaults(func=run_perfgate)
 
     args = parser.parse_args(argv)
     return args.func(args)

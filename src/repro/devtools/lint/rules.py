@@ -1,4 +1,5 @@
-"""The six project rules, each distilled from a bug this repo shipped.
+"""The seven project rules, each distilled from a bug (or a measured
+performance cliff) this repo shipped.
 
 ========  ==================================================================
 REP001    No module-level / shared default RNG in library code.  The
@@ -21,6 +22,12 @@ REP005    Tests must not draw from the global NumPy RNG — test order then
           behind the ``test_fit_learns_separable_task`` flake).
 REP006    ``__all__`` must match the module's public defs; drift means the
           documented API and the real API disagree.
+REP007    No per-element Python loop over a patch grid or kernel offsets in
+          the hot kernel modules (``nn/functional``, ``patch/executor``,
+          ``repro.backend``).  PR 8 measured the interpreted patch loop at
+          3-5x the wall time of the batched backend; kernels belong behind
+          ``repro.backend`` as vectorized NumPy.  Reference oracles are the
+          sanctioned exception — suppress with a ``noqa`` naming them.
 ========  ==================================================================
 """
 
@@ -39,6 +46,7 @@ __all__ = [
     "UnboundedMemo",
     "GlobalRngInTests",
     "DunderAllDrift",
+    "HotLoopOverPatchDomain",
 ]
 
 #: numpy.random attributes that are *not* the legacy global-state API.
@@ -525,3 +533,131 @@ class DunderAllDrift(LintRule):
                 }
                 return stmt, names
         return None, set()
+
+
+# --------------------------------------------------------------------- REP007
+#: Modules where per-element patch/kernel loops cost real wall time (PR 8
+#: measured 3-5x): the NumPy kernels, the patch executor, and the compute
+#: backends themselves.
+_HOT_MODULE_RE = re.compile(
+    r"(?:^|/)repro/(?:nn/functional|patch/executor|backend/[a-z_]+)\.py$"
+)
+
+#: Names that denote a patch-grid or kernel-offset domain when looped over.
+_HOT_DOMAIN_RE = re.compile(
+    r"^(?:kh|kw|kernel_h|kernel_w|kernel_size|num_patches|num_branches"
+    r"|branches|branch_ids|patches|patch_ids)$"
+)
+
+#: Iterator wrappers that are transparent for domain detection: looping over
+#: ``enumerate(branches)`` or ``range(num_patches)`` is still a domain loop.
+_ITER_WRAPPERS = {"range", "enumerate", "zip", "reversed", "sorted"}
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+
+
+@register_rule
+class HotLoopOverPatchDomain(LintRule):
+    code = "REP007"
+    name = "python-loop-in-hot-kernel"
+    severity = "warning"
+    scope = "library"
+    description = (
+        "An interpreted per-element loop over a patch grid or kernel offsets "
+        "in a hot kernel module pays the Python dispatch cost once per "
+        "element; batch it through the vectorized compute backend (stacked "
+        "scratch + strided windows).  Reference oracles keep their loops — "
+        "suppress with `# repro: noqa[REP007] - <why>`."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not _HOT_MODULE_RE.search(module.path):
+            return
+        for node in module.nodes:
+            if isinstance(node, ast.For):
+                iters, anchor = [node.iter], node
+            elif isinstance(node, _COMPREHENSIONS):
+                iters, anchor = [gen.iter for gen in node.generators], node
+            else:
+                continue
+            domain = next(
+                (name for it in iters if (name := self._domain_name(it))), None
+            )
+            if domain is None:
+                continue
+            # A nested loop inside an already-flagged domain loop is the same
+            # finding (e.g. the kh/kw nest of an im2col oracle): one report —
+            # and one suppression — on the outermost loop covers the nest.
+            if self._inside_hot_loop(module, node):
+                continue
+            if not self._does_work(node, iters):
+                continue
+            kind = "for loop" if isinstance(node, ast.For) else "comprehension"
+            yield module.finding(
+                self,
+                anchor,
+                f"per-element {kind} over {domain!r} in a hot kernel module; "
+                "batch it through the vectorized backend, or noqa a reference "
+                "oracle",
+            )
+
+    @classmethod
+    def _domain_name(cls, iter_expr: ast.expr) -> str | None:
+        """The hot domain this expression iterates, or None.
+
+        Direct iteration (``for b in branches`` / ``self.plan.branches``)
+        matches on the trailing name; wrapped iteration matches hot names
+        anywhere in the wrapper's arguments (``range(num_patches * 2)``,
+        ``enumerate(branch_ids)``, ``range(len(patches))``).
+        """
+        if isinstance(iter_expr, ast.Call):
+            func = iter_expr.func
+            fname = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+            if fname not in _ITER_WRAPPERS:
+                return None
+            for arg in iter_expr.args:
+                for leaf in ast.walk(arg):
+                    name = cls._leaf_name(leaf)
+                    if name is not None and _HOT_DOMAIN_RE.match(name):
+                        return name
+            return None
+        name = cls._leaf_name(iter_expr)
+        if name is not None and _HOT_DOMAIN_RE.match(name):
+            return name
+        return None
+
+    @staticmethod
+    def _leaf_name(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    @classmethod
+    def _inside_hot_loop(cls, module: ModuleSource, node: ast.AST) -> bool:
+        current = module.parent(node)
+        while current is not None:
+            if isinstance(current, ast.For) and cls._domain_name(current.iter):
+                return True
+            if isinstance(current, _COMPREHENSIONS) and any(
+                cls._domain_name(gen.iter) for gen in current.generators
+            ):
+                return True
+            current = module.parent(current)
+        return False
+
+    @staticmethod
+    def _does_work(node: ast.AST, iters: list[ast.expr]) -> bool:
+        """Per-element *work* means a call in the loop body.
+
+        Pure data plumbing — ``[(branches[i], tiles[i]) for i in ids]`` —
+        is index arithmetic, not kernel work, and stays legal.  The iterator
+        expressions themselves are excluded so ``enumerate(...)`` in the
+        header does not count as body work.
+        """
+        iter_nodes = {id(n) for it in iters for n in ast.walk(it)}
+        return any(
+            isinstance(inner, ast.Call) and id(inner) not in iter_nodes
+            for inner in ast.walk(node)
+        )

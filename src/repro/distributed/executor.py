@@ -61,8 +61,11 @@ class DistributedExecutor(PatchExecutor):
         suffix_hook: SuffixHook | None = None,
         shard_plan: ShardPlan | None = None,
         config: QuantizationConfig | None = None,
+        backend=None,
     ) -> None:
-        super().__init__(plan, branch_hook=branch_hook, suffix_hook=suffix_hook)
+        super().__init__(
+            plan, branch_hook=branch_hook, suffix_hook=suffix_hook, backend=backend
+        )
         if shard_plan is None:
             if cluster is None:
                 raise ValueError("provide either a cluster or an explicit shard_plan")
@@ -80,13 +83,23 @@ class DistributedExecutor(PatchExecutor):
     def num_devices(self) -> int:
         return self.cluster.num_devices
 
+    def _shard_run_branches(self, x: np.ndarray, branches: list):
+        """Device-side batched kernel: one compute-backend call per shard.
+
+        Resolved per call (not captured at worker creation) so a later
+        ``run_branch`` override still routes every branch through the loop
+        reference and is observed by instrumentation.
+        """
+        backend = self._kernel_backend()
+        return backend.run_branches(x, [branch.patch_id for branch in branches])
+
     def _ensure_workers(self) -> list[DeviceShard]:
         if self._workers is None:
             self._workers = [
                 DeviceShard(
                     device_id=shard.device_id,
                     branches=[self.plan.branches[b] for b in shard.branch_ids],
-                    run_branch=self.run_branch,
+                    run_branches=self._shard_run_branches,
                 )
                 for shard in self.shard_plan.shards
             ]
@@ -98,6 +111,7 @@ class DistributedExecutor(PatchExecutor):
             for worker in self._workers:
                 worker.close()
             self._workers = None
+        super().close()
 
     def __enter__(self) -> "DistributedExecutor":
         return self

@@ -7,8 +7,8 @@ they would on one core) while different devices run concurrently — the same
 concurrency structure as the hardware, which is what makes the modelled
 makespan and the simulated wall clock comparable in shape.
 
-The computation itself is the ordinary
-:meth:`~repro.patch.executor.PatchExecutor.run_branch`: every branch performs
+The computation itself goes through the owning executor's in-process compute
+backend (or its per-branch ``run_branch`` reference): every branch performs
 the exact same floating-point operations it would under sequential or
 patch-parallel execution, so device sharding cannot change any result bit.
 """
@@ -25,6 +25,9 @@ from ..patch.plan import BranchPlan
 __all__ = ["DeviceShard"]
 
 RunBranch = Callable[[BranchPlan, np.ndarray], np.ndarray]
+RunBranches = Callable[
+    [np.ndarray, list[BranchPlan]], list[tuple[BranchPlan, np.ndarray]]
+]
 
 
 class DeviceShard:
@@ -39,14 +42,27 @@ class DeviceShard:
     run_branch:
         Callback computing one branch's tile (typically the bound
         ``run_branch`` of the executor that owns this worker).
+    run_branches:
+        Batched alternative: callback computing a whole branch subset in one
+        call (typically dispatching into the owning executor's compute
+        backend, so a shard's branches execute as one vectorized group
+        instead of one NumPy round trip per branch).  Takes precedence over
+        ``run_branch`` when both are given.
     """
 
     def __init__(
-        self, device_id: int, branches: list[BranchPlan], run_branch: RunBranch
+        self,
+        device_id: int,
+        branches: list[BranchPlan],
+        run_branch: RunBranch | None = None,
+        run_branches: RunBranches | None = None,
     ) -> None:
+        if run_branch is None and run_branches is None:
+            raise ValueError("provide run_branch or run_branches")
         self.device_id = device_id
         self.branches = list(branches)
         self._run_branch = run_branch
+        self._run_branches = run_branches
         self._pool: ThreadPoolExecutor | None = None
 
     # ----------------------------------------------------------------- pool
@@ -88,6 +104,8 @@ class DeviceShard:
             future: Future = Future()
             future.set_result([])
             return future
+        if self._run_branches is not None:
+            return self._ensure_pool().submit(self._run_branches, x, list(branches))
         return self._ensure_pool().submit(
             lambda: [(branch, self._run_branch(branch, x)) for branch in branches]
         )

@@ -7,19 +7,51 @@ test in isolation (see ``tests/nn/test_functional.py``).
 
 The implementation favours clarity over raw speed: convolutions are expressed
 through explicit ``im2col``/``col2im`` transformations, the textbook approach
-used by most educational frameworks.  For the model scales exercised by the
-QuantMCU reproduction (tens of layers, inputs up to 224x224 for analytic runs
-and 64x96 pixels for executed runs) this is more than fast enough.
+used by most educational frameworks.  The window gathers are fully vectorized
+through strided window views (:func:`numpy.lib.stride_tricks.as_strided`, the
+mechanism behind ``sliding_window_view``, called directly to skip the
+wrapper's per-call overhead) and the ``col2im`` scatter through
+:func:`numpy.ufunc.at`; the original
+kernel-offset loops survive as :func:`im2col_reference`/:func:`col2im_reference`
+— the oracles the equivalence tests compare the vectorized kernels against,
+bit for bit.  Bit-identity is exact, not approximate: gathers copy the same
+elements into the same positions, and the scatter accumulates each target in
+the same ascending kernel-offset order as the reference loop, so no float
+operation is reassociated.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+
+def _strided_windows(img: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Read-only ``(N, C, out_h, out_w, kh, kw)`` view of sliding windows.
+
+    Equivalent to ``sliding_window_view(img, (kh, kw), axis=(2, 3))`` followed
+    by ``[:, :, ::stride, ::stride]`` — same elements at the same positions —
+    but built with one direct :func:`numpy.lib.stride_tricks.as_strided` call:
+    the convenience wrapper's per-call Python overhead is measurable when the
+    patch-stage executes thousands of small convolutions per image.
+    """
+    n, c, h, w = img.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    sn, sc, sh, sw = img.strides
+    return as_strided(
+        img,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
 
 __all__ = [
     "conv_output_size",
     "im2col",
+    "im2col_reference",
     "col2im",
+    "col2im_reference",
     "conv2d_forward",
     "conv2d_backward",
     "depthwise_conv2d_forward",
@@ -89,8 +121,29 @@ def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) ->
     else:
         img = x
 
+    # One strided gather instead of a Python loop over kernel offsets.  The
+    # reshape copies the windows into exactly the row/column order the loop
+    # reference produces, so downstream matmuls see a bit-identical matrix.
+    windows = _strided_windows(img, kh, kw, stride)
+    return windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+
+
+def im2col_reference(
+    x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Loop-based oracle for :func:`im2col` (kept for the equivalence tests)."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    if padding > 0:
+        img = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)], mode="constant")
+    else:
+        img = x
+
     col = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
+    for i in range(kh):  # repro: noqa[REP007] - the loop oracle itself
         i_max = i + stride * out_h
         for j in range(kw):
             j_max = j + stride * out_w
@@ -118,7 +171,36 @@ def col2im(
 
     col6 = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
     img = np.zeros((n, c, h + 2 * padding + stride - 1, w + 2 * padding + stride - 1), dtype=col.dtype)
-    for i in range(kh):
+    # Scatter-add all kernel offsets at once.  Index order is (i, j, oh, ow)
+    # flattened C-style, so every overlapping target accumulates its
+    # contributions in ascending (i, j) order — the same float addition order
+    # as the loop reference, hence bit-identical results.
+    i = np.arange(kh)[:, None, None, None]
+    j = np.arange(kw)[None, :, None, None]
+    oh = np.arange(out_h)[None, None, :, None] * stride
+    ow = np.arange(out_w)[None, None, None, :] * stride
+    rows = np.broadcast_to(i + oh, (kh, kw, out_h, out_w)).reshape(-1)
+    cols = np.broadcast_to(j + ow, (kh, kw, out_h, out_w)).reshape(-1)
+    np.add.at(img, (slice(None), slice(None), rows, cols), col6.reshape(n, c, -1))
+    return img[:, :, padding : padding + h, padding : padding + w]
+
+
+def col2im_reference(
+    col: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Loop-based oracle for :func:`col2im` (kept for the equivalence tests)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    col6 = col.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    img = np.zeros((n, c, h + 2 * padding + stride - 1, w + 2 * padding + stride - 1), dtype=col.dtype)
+    for i in range(kh):  # repro: noqa[REP007] - the loop oracle itself
         i_max = i + stride * out_h
         for j in range(kw):
             j_max = j + stride * out_w
@@ -197,12 +279,11 @@ def _depthwise_windows(x: np.ndarray, kernel: tuple[int, int], stride: int, padd
         img = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)], mode="constant")
     else:
         img = x
-    windows = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
-        i_max = i + stride * out_h
-        for j in range(kw):
-            j_max = j + stride * out_w
-            windows[:, :, i, j, :, :] = img[:, :, i:i_max:stride, j:j_max:stride]
+    windows = _strided_windows(img, kh, kw, stride)
+    # (n, c, out_h, out_w, kh, kw) -> (n, c, kh, kw, out_h, out_w): the same
+    # element order the loop gather produced, so reductions over the window
+    # axis see identical operand sequences.
+    windows = windows.transpose(0, 1, 4, 5, 2, 3)
     return windows.reshape(n, c, kh * kw, out_h * out_w)
 
 

@@ -19,11 +19,19 @@ the patch machinery knowing anything about quantization:
     Called with every feature-map activation computed in the suffix.
 
 Both return the (possibly fake-quantized) array to propagate.
+
+*How* the branches are computed is delegated to a pluggable compute backend
+(:mod:`repro.backend`): the serial per-branch loop reference, the batched
+vectorized default, or a fork-pool multiprocess backend — all bit-identical.
+:meth:`PatchExecutor.run_branch` remains the single-branch reference kernel;
+whenever it is overridden (subclassed or monkeypatched, as instrumentation
+does), dispatch automatically drops to the loop backend so the override keeps
+seeing every branch.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -33,6 +41,9 @@ from ..nn.graph import INPUT_NODE
 from ..quant.points import FeatureMap
 from .plan import BranchPlan, PatchPlan
 from .regions import Region, backward_region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backend import Backend
 
 __all__ = ["PatchExecutor"]
 
@@ -48,18 +59,95 @@ class PatchExecutor:
         plan: PatchPlan,
         branch_hook: BranchHook | None = None,
         suffix_hook: SuffixHook | None = None,
+        backend: "str | Backend | None" = None,
     ) -> None:
         self.plan = plan
         self.branch_hook = branch_hook
         self.suffix_hook = suffix_hook
         self._shapes = plan.graph.shapes()
         self._fm_by_output = {fm.output_node: fm for fm in plan.fm_index}
+        # Backend instances are built lazily (and the spec may name one by
+        # string) so constructing an executor never pays backend setup costs.
+        self._backend_spec = backend
+        self._configured_backend: "Backend | None" = None
+        self._loop_backend: "Backend | None" = None
+        self._inproc_backend: "Backend | None" = None
+
+    # ---------------------------------------------------------------- backend
+    @property
+    def backend(self) -> "Backend":
+        """The configured compute backend (built on first access)."""
+        from ..backend import Backend, make_backend
+
+        if isinstance(self._backend_spec, Backend):
+            return self._backend_spec
+        if self._configured_backend is None:
+            self._configured_backend = make_backend(self._backend_spec, self)
+        return self._configured_backend
+
+    def _run_branch_overridden(self) -> bool:
+        return (
+            "run_branch" in self.__dict__
+            or type(self).run_branch is not PatchExecutor.run_branch
+        )
+
+    def _loop(self) -> "Backend":
+        if self._loop_backend is None:
+            from ..backend import LoopBackend
+
+            self._loop_backend = LoopBackend(self)
+        return self._loop_backend
+
+    def _active_backend(self) -> "Backend":
+        """Backend used for dispatch: the configured one, unless ``run_branch``
+        is overridden — then the loop reference, so the override is honoured."""
+        if self._run_branch_overridden():
+            return self._loop()
+        return self.backend
+
+    def _kernel_backend(self) -> "Backend":
+        """In-process compute backend, for worker pools and forked processes.
+
+        Never the multiprocess backend itself (a worker must not recursively
+        fan out), and the loop reference whenever ``run_branch`` is
+        overridden.
+        """
+        if self._run_branch_overridden():
+            return self._loop()
+        configured = self.backend
+        if configured.in_process:
+            return configured
+        if self._inproc_backend is None:
+            from ..backend import VectorizedBackend
+
+            self._inproc_backend = VectorizedBackend(self)
+        return self._inproc_backend
+
+    def close(self) -> None:
+        """Release backend resources (scratch buffers, worker pools); idempotent."""
+        from ..backend import Backend
+
+        for backend in (
+            self._configured_backend,
+            self._loop_backend,
+            self._inproc_backend,
+        ):
+            if backend is not None:
+                backend.close()
+        if isinstance(self._backend_spec, Backend):
+            self._backend_spec.close()
+
+    def __enter__(self) -> "PatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ----------------------------------------------------------------- public
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run patch-based inference on a batch ``x`` of shape ``(N, C, H, W)``."""
         stitched = self._run_patch_stage(x)
-        return self._run_suffix(x, stitched)
+        return self.run_suffix(x, stitched)
 
     __call__ = forward
 
@@ -76,12 +164,26 @@ class PatchExecutor:
         caller that knows some tiles are still valid (their input regions did
         not change) asks for just the dirty subset.  Subclasses that own
         worker pools override this to keep their parallelism structure — the
-        base implementation runs the subset serially.
+        base implementation hands the subset to the compute backend.  The
+        returned tiles are owned by the caller (never backend scratch).
         """
-        return [
-            (self.plan.branches[i], self.run_branch(self.plan.branches[i], x))
-            for i in branch_ids
-        ]
+        return self._active_backend().run_branches(x, list(branch_ids))
+
+    def stitch_tiles(
+        self, x: np.ndarray, branch_ids: list[int], out: np.ndarray
+    ) -> np.ndarray:
+        """Compute ``branch_ids`` and write their tiles into ``out`` in place.
+
+        The streaming entry point for callers that keep the stitched split
+        feature map alive across frames: only the dirty tiles are recomputed
+        and overwritten, everything else in ``out`` is left untouched.
+        """
+        for branch, tile_array in self.compute_tiles(x, branch_ids):
+            tile = branch.output_region
+            out[:, :, tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] = (
+                tile_array
+            )
+        return out
 
     def run_suffix(self, x: np.ndarray, stitched: np.ndarray) -> np.ndarray:
         """Run the layer-by-layer suffix on an already-stitched split feature map.
@@ -90,7 +192,7 @@ class PatchExecutor:
         the stitched buffer themselves (the streaming session keeps it alive
         across frames) can finish the forward pass through the same hooks.
         """
-        return self._run_suffix(x, stitched)
+        return self._active_backend().run_suffix(x, stitched)
 
     def run_branch(self, branch: BranchPlan, x: np.ndarray) -> np.ndarray:
         """Run one dataflow branch and return its tile of the split feature map.
@@ -131,13 +233,7 @@ class PatchExecutor:
         return np.zeros((x.shape[0], *split_shape), dtype=np.float32)
 
     def _run_patch_stage(self, x: np.ndarray) -> np.ndarray:
-        stitched = self._allocate_split(x)
-        for branch in self.plan.branches:
-            tile = branch.output_region
-            stitched[:, :, tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] = (
-                self.run_branch(branch, x)
-            )
-        return stitched
+        return self._active_backend().run_patch_stage(x, self._allocate_split(x))
 
     def _compute_node(
         self,

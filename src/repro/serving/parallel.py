@@ -1,15 +1,23 @@
-"""Patch-parallel execution: dispatch independent branches to a worker pool.
+"""Patch-parallel execution: dispatch branch chunks to a worker pool.
 
 Patch-based inference decomposes the patch stage into dataflow branches that
 share no intermediate state — each branch recomputes its halo from the input
 — so the branches of a :class:`~repro.patch.plan.PatchPlan` are embarrassingly
-parallel.  :class:`ParallelPatchExecutor` exploits that: it submits
-:meth:`~repro.patch.executor.PatchExecutor.run_branch` calls to a thread pool
-and stitches the returned tiles into the split feature map.
+parallel.  :class:`ParallelPatchExecutor` exploits that: it splits the
+requested branches into one contiguous **chunk per worker** and submits each
+chunk as a single :meth:`~repro.backend.base.Backend.run_branches` call, so
+the pool round-trip cost is paid once per worker instead of once per patch
+(the earlier one-future-per-branch design drowned small branches in executor
+overhead).  Below :attr:`~ParallelPatchExecutor.inline_threshold` branches the
+pool is bypassed entirely — dispatch latency exceeds the work.
 
 Threads (not processes) are the right pool here: the heavy lifting inside a
-branch is NumPy matmul/im2col work that releases the GIL, and threads share
-the model weights without pickling the graph.
+chunk is NumPy matmul/im2col work that releases the GIL, and threads share
+the model weights without pickling the graph.  (For a process pool, select
+the ``multiprocess`` compute backend instead.)  Chunks execute through the
+executor's in-process kernel backend — vectorized by default, so each worker
+batches its chunk — and scratch buffers are thread-local, so workers never
+share mutable state.
 
 The result is **bit-identical** to sequential execution: every branch performs
 exactly the same floating-point operations in the same order as it would
@@ -37,21 +45,28 @@ def default_worker_count(plan: PatchPlan) -> int:
 
 
 class ParallelPatchExecutor(PatchExecutor):
-    """A :class:`PatchExecutor` that runs dataflow branches concurrently.
+    """A :class:`PatchExecutor` that runs branch chunks concurrently.
 
     Parameters
     ----------
-    plan, branch_hook, suffix_hook:
+    plan, branch_hook, suffix_hook, backend:
         As for :class:`~repro.patch.executor.PatchExecutor`.  A ``branch_hook``
         used here must be thread-safe (pure functions of their inputs, like
         the quantization hooks of :class:`~repro.serving.pipeline.CompiledPipeline`,
         are).
     max_workers:
         Thread-pool size; defaults to :func:`default_worker_count`.
+    inline_threshold:
+        Run requests of at most this many branches inline on the calling
+        thread (streaming frames with one or two dirty tiles do not repay a
+        pool hop).
 
     The pool is created lazily on first use; call :meth:`close` (or use the
     executor as a context manager) to release it.
     """
+
+    #: Default for ``inline_threshold``.
+    INLINE_THRESHOLD = 2
 
     def __init__(
         self,
@@ -59,9 +74,16 @@ class ParallelPatchExecutor(PatchExecutor):
         branch_hook: BranchHook | None = None,
         suffix_hook: SuffixHook | None = None,
         max_workers: int | None = None,
+        inline_threshold: int | None = None,
+        backend=None,
     ) -> None:
-        super().__init__(plan, branch_hook=branch_hook, suffix_hook=suffix_hook)
+        super().__init__(
+            plan, branch_hook=branch_hook, suffix_hook=suffix_hook, backend=backend
+        )
         self.max_workers = max_workers if max_workers is not None else default_worker_count(plan)
+        self.inline_threshold = (
+            inline_threshold if inline_threshold is not None else self.INLINE_THRESHOLD
+        )
         self._pool: ThreadPoolExecutor | None = None
 
     # ----------------------------------------------------------------- pool
@@ -73,10 +95,11 @@ class ParallelPatchExecutor(PatchExecutor):
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and release backend scratch (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        super().close()
 
     def __enter__(self) -> "ParallelPatchExecutor":
         return self
@@ -84,32 +107,37 @@ class ParallelPatchExecutor(PatchExecutor):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _chunks(self, branch_ids: list[int]) -> list[list[int]]:
+        """Split ``branch_ids`` into at most ``max_workers`` contiguous chunks
+        of near-equal size (order preserved)."""
+        workers = min(self.max_workers, len(branch_ids))
+        base, extra = divmod(len(branch_ids), workers)
+        chunks = []
+        start = 0
+        for worker in range(workers):
+            size = base + (1 if worker < extra else 0)
+            chunks.append(branch_ids[start : start + size])
+            start += size
+        return chunks
+
     # ------------------------------------------------------------ patch stage
     def compute_tiles(
         self, x: np.ndarray, branch_ids: list[int]
     ) -> list[tuple[BranchPlan, np.ndarray]]:
-        """Run only ``branch_ids``, dispatching them across the worker pool."""
-        if self.max_workers <= 1 or len(branch_ids) <= 1:
+        """Run only ``branch_ids``, one chunk of branches per pool worker."""
+        branch_ids = list(branch_ids)
+        if self.max_workers <= 1 or len(branch_ids) <= self.inline_threshold:
             return super().compute_tiles(x, branch_ids)
+        kernel = self._kernel_backend()
         pool = self._ensure_pool()
         futures = [
-            (self.plan.branches[i], pool.submit(self.run_branch, self.plan.branches[i], x))
-            for i in branch_ids
+            pool.submit(kernel.run_branches, x, chunk) for chunk in self._chunks(branch_ids)
         ]
-        return [(branch, future.result()) for branch, future in futures]
+        return [pair for future in futures for pair in future.result()]
 
     def _run_patch_stage(self, x: np.ndarray) -> np.ndarray:
         plan = self.plan
-        if self.max_workers <= 1 or plan.num_branches <= 1:
+        if self.max_workers <= 1 or plan.num_branches <= self.inline_threshold:
             return super()._run_patch_stage(x)
-        pool = self._ensure_pool()
-        stitched = self._allocate_split(x)
-        futures = [
-            (branch.output_region, pool.submit(self.run_branch, branch, x))
-            for branch in plan.branches
-        ]
-        for tile, future in futures:
-            stitched[:, :, tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] = (
-                future.result()
-            )
-        return stitched
+        all_ids = [branch.patch_id for branch in plan.branches]
+        return self.stitch_tiles(x, all_ids, self._allocate_split(x))

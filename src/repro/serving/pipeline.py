@@ -111,6 +111,7 @@ class CompiledPipeline:
         plan: PatchPlan,
         state: dict,
         spec: ModelSpec | None = None,
+        backend: str | None = None,
     ) -> None:
         if state.get("classification_mode") != "static":
             raise ValueError(
@@ -136,8 +137,14 @@ class CompiledPipeline:
         self._branch_hook, self._suffix_hook = make_static_hooks(
             self._ranges, self._branch_bits, self._suffix_bits
         )
+        # Compute-backend *name* shared by every executor this pipeline builds
+        # (each executor owns its own backend instance; see repro.backend).
+        self._backend_spec = backend
         self._sequential = PatchExecutor(
-            plan, branch_hook=self._branch_hook, suffix_hook=self._suffix_hook
+            plan,
+            branch_hook=self._branch_hook,
+            suffix_hook=self._suffix_hook,
+            backend=backend,
         )
         self._parallel: ParallelPatchExecutor | None = None
         # Parallel executors replaced by a max_workers change: a live
@@ -154,6 +161,7 @@ class CompiledPipeline:
         pipeline: QuantMCUPipeline,
         result: QuantMCUResult,
         spec: ModelSpec | None = None,
+        backend: str | None = None,
     ) -> "CompiledPipeline":
         """Freeze ``result`` into a serving artifact.
 
@@ -174,7 +182,7 @@ class CompiledPipeline:
                         layer.params["weight"], result.weight_bits
                     )
         plan = build_patch_plan(graph, state["split_output_node"], state["num_patches"])
-        return cls(graph, plan, state, spec=spec)
+        return cls(graph, plan, state, spec=spec, backend=backend)
 
     # ------------------------------------------------------------- inference
     def executor(
@@ -198,6 +206,7 @@ class CompiledPipeline:
                         cluster,
                         branch_hook=self._branch_hook,
                         suffix_hook=self._suffix_hook,
+                        backend=self._backend_spec,
                     )
                     self._distributed[cluster.cache_key] = executor
                 return executor
@@ -215,6 +224,7 @@ class CompiledPipeline:
                     branch_hook=self._branch_hook,
                     suffix_hook=self._suffix_hook,
                     max_workers=max_workers,
+                    backend=self._backend_spec,
                 )
             return self._parallel
 
@@ -263,8 +273,9 @@ class CompiledPipeline:
         return session
 
     def close(self) -> None:
-        """Release the parallel worker pool and any distributed device pools."""
+        """Release executor resources: worker pools, device pools, backend scratch."""
         with self._executor_lock:
+            self._sequential.close()
             if self._parallel is not None:
                 self._parallel.close()
                 self._parallel = None
@@ -379,6 +390,7 @@ def compile_pipeline(
     pipeline: QuantMCUPipeline,
     result: QuantMCUResult,
     spec: ModelSpec | None = None,
+    backend: str | None = None,
 ) -> CompiledPipeline:
     """Functional alias for :meth:`CompiledPipeline.from_result`."""
-    return CompiledPipeline.from_result(pipeline, result, spec=spec)
+    return CompiledPipeline.from_result(pipeline, result, spec=spec, backend=backend)

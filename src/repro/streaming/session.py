@@ -205,11 +205,9 @@ class StreamSession:
         try:
             if self._stitched is None:
                 self._stitched = np.zeros(self._split_shape, dtype=np.float32)
-            for branch, tile_array in self.executor.compute_tiles(x, dirty):
-                tile = branch.output_region
-                self._stitched[
-                    :, :, tile.row_start : tile.row_stop, tile.col_start : tile.col_stop
-                ] = tile_array
+            # stitch_tiles recomputes just the dirty tiles in place; every
+            # clean tile in the persistent buffer is reused as-is.
+            self.executor.stitch_tiles(x, dirty, self._stitched)
             output = self.executor.run_suffix(x, self._stitched)
             self._previous = x.copy()
         except BaseException:

@@ -1,0 +1,231 @@
+"""Unit tests for the compute-backend layer (:mod:`repro.backend`).
+
+Covers backend selection (names, ``REPRO_BACKEND``, defaults), the scratch
+arena's reuse and thread-locality guarantees, and the dispatch rules the
+executor applies — most importantly the fallback to the loop reference when
+``run_branch`` is overridden, which is what keeps instrumentation-style tests
+(and subclasses) observing every branch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from fixtures import random_property_graph
+
+from repro.backend import (
+    DEFAULT_BACKEND,
+    Backend,
+    LoopBackend,
+    ScratchArena,
+    VectorizedBackend,
+    available_backends,
+    make_backend,
+)
+from repro.patch import PatchExecutor, build_patch_plan, candidate_split_nodes
+from repro.serving.parallel import ParallelPatchExecutor
+
+
+@pytest.fixture
+def small_plan():
+    graph = random_property_graph(np.random.default_rng(0))
+    split = candidate_split_nodes(graph)[0]
+    return build_patch_plan(graph, split, 2)
+
+
+@pytest.fixture
+def small_input(rng, small_plan):
+    return rng.standard_normal((1, *small_plan.graph.input_shape)).astype(np.float32)
+
+
+# ---------------------------------------------------------------- selection
+class TestBackendSelection:
+    def test_default_is_vectorized(self, small_plan):
+        assert DEFAULT_BACKEND == "vectorized"
+        with PatchExecutor(small_plan) as executor:
+            assert isinstance(executor.backend, VectorizedBackend)
+
+    def test_explicit_name(self, small_plan):
+        with PatchExecutor(small_plan, backend="loop") as executor:
+            assert isinstance(executor.backend, LoopBackend)
+
+    def test_backend_instance_passthrough(self, small_plan):
+        executor = PatchExecutor(small_plan)
+        try:
+            instance = LoopBackend(executor)
+            executor2 = PatchExecutor(small_plan, backend=instance)
+            assert executor2.backend is instance
+        finally:
+            executor.close()
+
+    def test_env_var_override(self, small_plan, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "loop")
+        with PatchExecutor(small_plan) as executor:
+            assert isinstance(executor.backend, LoopBackend)
+
+    def test_explicit_name_beats_env_var(self, small_plan, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "loop")
+        with PatchExecutor(small_plan, backend="vectorized") as executor:
+            assert isinstance(executor.backend, VectorizedBackend)
+
+    def test_unknown_name_raises(self, small_plan):
+        executor = PatchExecutor(small_plan, backend="definitely-not-a-backend")
+        try:
+            with pytest.raises(ValueError, match="unknown backend"):
+                executor.backend
+        finally:
+            executor.close()
+
+    def test_available_backends(self):
+        assert set(available_backends()) >= {"loop", "vectorized", "multiprocess"}
+
+    def test_make_backend_binds_executor(self, small_plan):
+        with PatchExecutor(small_plan) as executor:
+            backend = make_backend("loop", executor)
+            assert backend.executor is executor
+            assert backend.plan is small_plan
+
+
+# ------------------------------------------------------------------ scratch
+class TestScratchArena:
+    def test_take_reuses_buffer(self):
+        arena = ScratchArena()
+        a = arena.take(("k",), (2, 3))
+        b = arena.take(("k",), (2, 3))
+        assert a is b
+        assert arena.buffer_count == 1
+
+    def test_shape_change_reallocates(self):
+        arena = ScratchArena()
+        a = arena.take(("k",), (2, 3))
+        b = arena.take(("k",), (4, 3))
+        assert a is not b
+        assert b.shape == (4, 3)
+
+    def test_dtype_change_reallocates(self):
+        arena = ScratchArena()
+        a = arena.take(("k",), (2,), dtype=np.float32)
+        b = arena.take(("k",), (2,), dtype=np.float64)
+        assert a is not b
+        assert b.dtype == np.float64
+
+    def test_clear_and_nbytes(self):
+        arena = ScratchArena()
+        arena.take(("a",), (4,), dtype=np.float32)
+        arena.take(("b",), (2, 2), dtype=np.float32)
+        assert arena.buffer_count == 2
+        assert arena.nbytes == 4 * 4 + 4 * 4
+        arena.clear()
+        assert arena.buffer_count == 0
+        assert arena.nbytes == 0
+
+    def test_buffers_are_thread_local(self):
+        arena = ScratchArena()
+        mine = arena.take(("k",), (2,))
+        seen = {}
+
+        def worker():
+            seen["buf"] = arena.take(("k",), (2,))
+            seen["count"] = arena.buffer_count
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["buf"] is not mine
+        assert seen["count"] == 1
+        assert arena.buffer_count == 1  # this thread still has exactly its own
+
+
+# ----------------------------------------------------------------- dispatch
+class TestDispatchRules:
+    def test_run_branch_monkeypatch_falls_back_to_loop(self, small_plan, small_input):
+        with PatchExecutor(small_plan, backend="vectorized") as executor:
+            reference = executor.forward(small_input)
+            observed = []
+            original = executor.run_branch
+
+            def spy(branch, x):
+                observed.append(branch.patch_id)
+                return original(branch, x)
+
+            executor.run_branch = spy
+            assert isinstance(executor._active_backend(), LoopBackend)
+            assert np.array_equal(executor.forward(small_input), reference)
+            assert sorted(observed) == [b.patch_id for b in small_plan.branches]
+
+    def test_run_branch_subclass_falls_back_to_loop(self, small_plan, small_input):
+        calls = []
+
+        class Instrumented(PatchExecutor):
+            def run_branch(self, branch, x):
+                calls.append(branch.patch_id)
+                return super().run_branch(branch, x)
+
+        with Instrumented(small_plan) as instrumented, PatchExecutor(small_plan) as plain:
+            assert isinstance(instrumented._active_backend(), LoopBackend)
+            assert np.array_equal(
+                instrumented.forward(small_input), plain.forward(small_input)
+            )
+            assert calls  # every branch was observed
+        assert sorted(calls) == [b.patch_id for b in small_plan.branches]
+
+    def test_kernel_backend_is_in_process(self, small_plan):
+        with PatchExecutor(small_plan, backend="multiprocess") as executor:
+            kernel = executor._kernel_backend()
+            assert kernel.in_process
+            assert isinstance(kernel, VectorizedBackend)
+
+    def test_close_is_idempotent(self, small_plan):
+        executor = PatchExecutor(small_plan)
+        executor.backend  # force creation
+        executor.close()
+        executor.close()
+
+    def test_backend_tiles_are_owned_copies(self, small_plan, small_input):
+        # run_branches must never return views into reused scratch: a second
+        # call with different content must not mutate previously returned tiles.
+        with PatchExecutor(small_plan, backend="vectorized") as executor:
+            ids = [b.patch_id for b in small_plan.branches]
+            first = [tile.copy() for _, tile in executor.compute_tiles(small_input, ids)]
+            executor.compute_tiles(small_input * 3.0, ids)
+            again = executor.compute_tiles(small_input, ids)
+            for before, (_, after) in zip(first, again):
+                assert np.array_equal(before, after)
+
+
+# ----------------------------------------------------------------- parallel
+class TestParallelChunking:
+    def test_chunks_cover_in_order(self, small_plan):
+        with ParallelPatchExecutor(small_plan, max_workers=3) as executor:
+            ids = list(range(8))
+            chunks = executor._chunks(ids)
+            assert len(chunks) == 3
+            assert [i for chunk in chunks for i in chunk] == ids
+            sizes = [len(chunk) for chunk in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_chunks_never_exceed_ids(self, small_plan):
+        with ParallelPatchExecutor(small_plan, max_workers=8) as executor:
+            chunks = executor._chunks([0, 1, 2])
+            assert len(chunks) == 3
+            assert all(len(chunk) == 1 for chunk in chunks)
+
+    def test_small_requests_run_inline(self, small_plan, small_input):
+        with ParallelPatchExecutor(
+            small_plan, max_workers=4, inline_threshold=2
+        ) as executor:
+            executor.compute_tiles(small_input, [0, 1])
+            assert executor._pool is None  # never paid the pool hop
+
+    def test_above_threshold_uses_pool(self, small_plan, small_input):
+        ids = [b.patch_id for b in small_plan.branches]
+        assert len(ids) >= 3  # a 2x2 grid: enough to clear the threshold
+        with ParallelPatchExecutor(
+            small_plan, max_workers=2, inline_threshold=1
+        ) as executor:
+            tiles = executor.compute_tiles(small_input, ids)
+            assert executor._pool is not None
+            assert [b.patch_id for b, _ in tiles] == ids

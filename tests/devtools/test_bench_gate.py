@@ -1,0 +1,94 @@
+"""Unit tests for the perf-regression gate (:func:`compare_snapshots` and the
+``perfgate`` CLI exit codes).
+
+The kernel benchmark itself is exercised by ``benchmarks/test_bench_kernels.py``
+(marked slow); here the comparison semantics are pinned with synthetic
+snapshots so the gate logic is covered on every tier-1 run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.__main__ import main
+from repro.devtools.bench import compare_snapshots
+
+BASELINE = {
+    "patch_stage_speedup": 4.0,
+    "forward_speedup": 1.5,
+    "im2col_speedup": 1.9,  # informational: not in gate_metrics
+    "gate_metrics": ["patch_stage_speedup", "forward_speedup"],
+}
+
+
+class TestCompareSnapshots:
+    def test_equal_snapshot_passes(self):
+        assert compare_snapshots(dict(BASELINE), BASELINE) == []
+
+    def test_improvement_passes(self):
+        current = dict(BASELINE, patch_stage_speedup=6.0)
+        assert compare_snapshots(current, BASELINE) == []
+
+    def test_within_tolerance_passes(self):
+        current = dict(BASELINE, patch_stage_speedup=4.0 * 0.85)
+        assert compare_snapshots(current, BASELINE) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        current = dict(BASELINE, patch_stage_speedup=4.0 * 0.7)
+        failures = compare_snapshots(current, BASELINE)
+        assert len(failures) == 1
+        assert "patch_stage_speedup" in failures[0]
+
+    def test_tolerance_is_configurable(self):
+        current = dict(BASELINE, patch_stage_speedup=4.0 * 0.7)
+        assert compare_snapshots(current, BASELINE, max_regression=0.5) == []
+        assert compare_snapshots(current, BASELINE, max_regression=0.1)
+
+    def test_ungated_metric_may_regress(self):
+        current = dict(BASELINE, im2col_speedup=0.1)
+        assert compare_snapshots(current, BASELINE) == []
+
+    def test_missing_metric_fails(self):
+        current = {k: v for k, v in BASELINE.items() if k != "forward_speedup"}
+        failures = compare_snapshots(current, BASELINE)
+        assert failures == ["forward_speedup: missing from the fresh snapshot"]
+
+    def test_unenforceable_baseline_is_skipped(self):
+        baseline = dict(BASELINE, forward_speedup=None)
+        assert compare_snapshots(dict(BASELINE), baseline) == []
+
+    def test_empty_baseline_passes(self):
+        assert compare_snapshots({}, {}) == []
+
+
+class TestPerfgateCli:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "baseline.json", BASELINE)
+        fresh = self._write(tmp_path / "fresh.json", dict(BASELINE))
+        assert main(["perfgate", fresh, "--baseline", baseline]) == 0
+        assert "perfgate: OK" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "baseline.json", BASELINE)
+        fresh = self._write(
+            tmp_path / "fresh.json", dict(BASELINE, patch_stage_speedup=1.0)
+        )
+        assert main(["perfgate", fresh, "--baseline", baseline]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_custom_tolerance(self, tmp_path):
+        baseline = self._write(tmp_path / "baseline.json", BASELINE)
+        fresh = self._write(
+            tmp_path / "fresh.json", dict(BASELINE, patch_stage_speedup=2.5)
+        )
+        assert main(["perfgate", fresh, "--baseline", baseline]) == 1
+        assert (
+            main(
+                ["perfgate", fresh, "--baseline", baseline, "--max-regression", "0.5"]
+            )
+            == 0
+        )

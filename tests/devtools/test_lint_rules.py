@@ -1,4 +1,4 @@
-"""Fixture tests for the six project lint rules.
+"""Fixture tests for the seven project lint rules.
 
 Every rule gets at least one failing fixture (the distilled shape of the
 historical bug it encodes) and one passing fixture (the shape the fix took),
@@ -435,5 +435,113 @@ class TestDunderAllDrift:
 
             __all__ = ["join"]
             """
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------------- REP007
+HOT_PATH = "src/repro/nn/functional.py"
+
+
+class TestHotLoopOverPatchDomain:
+    def test_kernel_offset_loop_flagged(self):
+        findings = lint(
+            """
+            def im2col(img, kh, kw):
+                cols = []
+                for i in range(kh):
+                    for j in range(kw):
+                        cols.append(img[i, j].copy())
+                return cols
+            """,
+            path=HOT_PATH,
+            rules=["REP007"],
+        )
+        assert codes(findings) == ["REP007"]
+        assert "'kh'" in findings[0].message
+
+    def test_nested_loop_reports_once_on_the_outer(self):
+        # The kh/kw nest is one finding, so one noqa on the outer line
+        # suppresses the whole oracle.
+        findings = lint(
+            """
+            def oracle(img, kh, kw):
+                for i in range(kh):  # repro: noqa[REP007] - the loop oracle
+                    for j in range(kw):
+                        img[i, j] = compute(i, j)
+            """,
+            path=HOT_PATH,
+            rules=["REP007"],
+        )
+        assert findings == []
+
+    def test_branch_comprehension_flagged(self):
+        findings = lint(
+            """
+            def run(executor, x, branch_ids):
+                return [executor.run_branch(i, x) for i in branch_ids]
+            """,
+            path="src/repro/backend/loop.py",
+            rules=["REP007"],
+        )
+        assert codes(findings) == ["REP007"]
+
+    def test_plan_branches_attribute_loop_flagged(self):
+        findings = lint(
+            """
+            def stage(self, x):
+                for branch in self.plan.branches:
+                    self.run_branch(branch, x)
+            """,
+            path="src/repro/patch/executor.py",
+            rules=["REP007"],
+        )
+        assert codes(findings) == ["REP007"]
+
+    def test_pure_plumbing_loop_passes(self):
+        # Index arithmetic over ids is bookkeeping, not kernel work.
+        findings = lint(
+            """
+            def pair(branches, tiles, branch_ids):
+                return [(branches[i], tiles[i]) for i in branch_ids]
+            """,
+            path=HOT_PATH,
+            rules=["REP007"],
+        )
+        assert findings == []
+
+    def test_cold_module_exempt(self):
+        findings = lint(
+            """
+            def stage(self, x):
+                for branch in self.plan.branches:
+                    self.run_branch(branch, x)
+            """,
+            path="src/repro/serving/pipeline.py",
+            rules=["REP007"],
+        )
+        assert findings == []
+
+    def test_benchmarks_and_tests_exempt(self):
+        source = """
+            def test_loop(executor, x, branch_ids):
+                for i in range(len(branch_ids)):
+                    executor.run_branch(branch_ids[i], x)
+            """
+        for path in (
+            "tests/backend/test_bit_exact.py",
+            "benchmarks/repro/backend/vectorized.py",
+        ):
+            assert lint(source, path=path, rules=["REP007"]) == []
+
+    def test_noqa_with_reason_suppresses(self):
+        findings = lint(
+            """
+            def run(executor, x, branch_ids):
+                for i in branch_ids:  # repro: noqa[REP007] - reference oracle
+                    executor.run_branch(i, x)
+            """,
+            path=HOT_PATH,
+            rules=["REP007"],
         )
         assert findings == []

@@ -219,3 +219,68 @@ class TestConvolutionProperties:
         out1, _ = F.conv2d_forward(2.5 * x, weight, None, stride, kernel // 2)
         out2, _ = F.conv2d_forward(x, weight, None, stride, kernel // 2)
         assert np.allclose(out1, 2.5 * out2, atol=1e-8)
+
+
+class TestVectorizedKernelEquivalence:
+    """The strided kernels are bit-identical to their loop oracles.
+
+    ``im2col``/``col2im`` were rewritten as single strided gathers (PR 8);
+    the loop implementations are kept as ``*_reference`` oracles and these
+    properties pin exact equality across random shapes, strides and paddings
+    — including the float addition order of col2im's overlap accumulation.
+    """
+
+    @staticmethod
+    def _random_case(rng):
+        n = int(rng.integers(1, 4))
+        c = int(rng.integers(1, 5))
+        kh = int(rng.integers(1, 4))
+        kw = int(rng.integers(1, 4))
+        stride = int(rng.integers(1, 4))
+        padding = int(rng.integers(0, 3))
+        h = int(rng.integers(max(kh - 2 * padding, 1), 13))
+        w = int(rng.integers(max(kw - 2 * padding, 1), 13))
+        x = rng.standard_normal((n, c, h, w)).astype(np.float32)
+        return x, (kh, kw), stride, padding
+
+    def test_im2col_matches_reference_across_random_cases(self):
+        rng = np.random.default_rng(2024)
+        for _ in range(50):
+            x, kernel, stride, padding = self._random_case(rng)
+            fast = F.im2col(x, kernel, stride, padding)
+            slow = F.im2col_reference(x, kernel, stride, padding)
+            assert fast.dtype == slow.dtype
+            assert np.array_equal(fast, slow)
+
+    def test_col2im_matches_reference_across_random_cases(self):
+        rng = np.random.default_rng(4048)
+        for _ in range(50):
+            x, kernel, stride, padding = self._random_case(rng)
+            col = F.im2col(x, kernel, stride, padding)
+            fast = F.col2im(col, x.shape, kernel, stride, padding)
+            slow = F.col2im_reference(col, x.shape, kernel, stride, padding)
+            assert fast.dtype == slow.dtype
+            assert np.array_equal(fast, slow)
+
+    def test_float64_matches_reference(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((2, 3, 9, 7))
+        assert np.array_equal(
+            F.im2col(x, (3, 3), 2, 1), F.im2col_reference(x, (3, 3), 2, 1)
+        )
+        col = F.im2col(x, (3, 3), 2, 1)
+        assert np.array_equal(
+            F.col2im(col, x.shape, (3, 3), 2, 1),
+            F.col2im_reference(col, x.shape, (3, 3), 2, 1),
+        )
+
+    def test_strided_windows_match_sliding_window_view(self):
+        rng = np.random.default_rng(11)
+        img = rng.standard_normal((2, 4, 10, 8)).astype(np.float32)
+        for kh, kw, stride in [(3, 3, 1), (3, 3, 2), (2, 1, 3), (1, 2, 2)]:
+            expected = np.lib.stride_tricks.sliding_window_view(
+                img, (kh, kw), axis=(2, 3)
+            )[:, :, ::stride, ::stride]
+            got = F._strided_windows(img, kh, kw, stride)
+            assert got.shape == expected.shape
+            assert np.array_equal(got, expected)
