@@ -143,9 +143,14 @@ class MultiprocessBackend(Backend):
         return [(branches[patch_id], tile) for patch_id, tile in zip(branch_ids, tiles)]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        _FORK_STATE.pop(self._token, None)
+        # The fork-state token must be dropped even if pool teardown raises:
+        # a surviving token would keep the executor (plan + weights) alive in
+        # the parent for the life of the process.
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+        finally:
+            _FORK_STATE.pop(self._token, None)
         super().close()

@@ -136,8 +136,14 @@ class RaceMonitor:
         # name -> {successor names acquired while name was held}
         self._edges: dict[str, set[str]] = defaultdict(set)
         self._locks_seen: set[str] = set()
-        # state name -> list of (thread_ident, frozenset(held lock names))
+        # state name -> list of (thread token, frozenset(held lock names))
         self._accesses: dict[str, list[tuple[int, frozenset[str]]]] = defaultdict(list)
+        # Thread identity must be a monotone per-monitor token, NOT
+        # threading.get_ident(): CPython reuses idents of finished threads,
+        # so two short-lived threads that happen to run back-to-back would
+        # collapse into "one thread" and hide a real race.
+        self._thread_tokens = threading.local()
+        self._next_token = 0
 
     # ----------------------------------------------------------- lock factory
     def lock(self, name: str) -> TracedLock:
@@ -184,9 +190,19 @@ class RaceMonitor:
     def record_access(self, state: str) -> None:
         """Mark one access to named shared state from the calling thread."""
         held = frozenset(self._held_stack())
-        ident = threading.get_ident()
+        token = self._thread_token()
         with self._mutex:
-            self._accesses[state].append((ident, held))
+            self._accesses[state].append((token, held))
+
+    def _thread_token(self) -> int:
+        try:
+            return self._thread_tokens.token
+        except AttributeError:
+            with self._mutex:
+                token = self._next_token
+                self._next_token += 1
+            self._thread_tokens.token = token
+            return token
 
     # -------------------------------------------------------------- analysis
     def lock_order_cycles(self) -> list[list[str]]:

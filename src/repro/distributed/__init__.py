@@ -31,9 +31,15 @@ Quickstart::
     print(executor.modelled_latency().makespan_ms)
 """
 
-from .executor import DistributedExecutor
+from .executor import DisplacedSubmission, DistributedExecutor
 from .planner import Shard, ShardPlan, ShardPlanner
-from .scheduler import PipelineParallelScheduler, StageSlot, pipeline_timeline
+from .scheduler import (
+    DriftSample,
+    PipelineParallelScheduler,
+    RoundRecord,
+    StageSlot,
+    pipeline_timeline,
+)
 from .workers import DeviceShard
 
 __all__ = [
@@ -41,8 +47,11 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "DeviceShard",
+    "DisplacedSubmission",
     "DistributedExecutor",
+    "DriftSample",
     "PipelineParallelScheduler",
+    "RoundRecord",
     "StageSlot",
     "pipeline_timeline",
 ]

@@ -26,7 +26,7 @@ from ..nn.graph import INPUT_NODE
 from ..quant.points import FeatureMapIndex
 from .regions import Region, backward_region, split_into_patches
 
-__all__ = ["BranchPlan", "PatchPlan", "build_patch_plan"]
+__all__ = ["BranchPlan", "PatchPlan", "build_patch_plan", "compose_branch_demand"]
 
 
 @dataclass
@@ -103,6 +103,49 @@ def _ancestors(graph: Graph, target: str) -> set[str]:
     return seen
 
 
+def compose_branch_demand(
+    graph: Graph,
+    prefix_nodes: list[str],
+    split_output_node: str,
+    out_region: Region,
+    shapes: dict[str, tuple[int, int, int]] | None = None,
+) -> tuple[dict[str, Region], dict[str, Region]]:
+    """Backward-compose the demand of ``out_region`` through the patch stage.
+
+    Returns ``(node_regions, clamped_regions)`` exactly as stored on a
+    :class:`BranchPlan`: for every prefix node (plus ``"input"``) the unclamped
+    region the output region depends on, and the same region clipped to the
+    node's spatial bounds.  Shared by :func:`build_patch_plan` and the
+    stale-halo rim planner in :mod:`repro.patch.stale`, which builds
+    sub-branches for arbitrary sub-rectangles of a tile.
+    """
+    shapes = shapes if shapes is not None else graph.shapes()
+    demand: dict[str, Region] = {split_output_node: out_region}
+    for name in reversed(prefix_nodes):
+        if name not in demand:
+            # Node feeds the split output only through nodes that have not
+            # demanded it (cannot happen for ancestors, kept defensively).
+            continue
+        node = graph.nodes[name]
+        kernel, stride, padding = node.layer.spatial_params()
+        in_region = backward_region(demand[name], kernel, stride, padding)
+        for src in node.inputs:
+            if src in demand:
+                demand[src] = demand[src].union(in_region)
+            else:
+                demand[src] = in_region
+
+    clamped: dict[str, Region] = {}
+    for name, region in demand.items():
+        if name == INPUT_NODE:
+            _, h, w = graph.input_shape
+        else:
+            shape = shapes[name]
+            h, w = shape[1], shape[2]
+        clamped[name] = region.clamp(h, w)
+    return demand, clamped
+
+
 def build_patch_plan(
     graph: Graph,
     split_output_node: str,
@@ -150,30 +193,9 @@ def build_patch_plan(
 
     branches = []
     for patch_id, tile in enumerate(tiles):
-        demand: dict[str, Region] = {split_output_node: tile}
-        for name in reversed(prefix_nodes):
-            if name not in demand:
-                # Node feeds the split output only through nodes that have not
-                # demanded it (cannot happen for ancestors, kept defensively).
-                continue
-            node = graph.nodes[name]
-            kernel, stride, padding = node.layer.spatial_params()
-            in_region = backward_region(demand[name], kernel, stride, padding)
-            for src in node.inputs:
-                if src in demand:
-                    demand[src] = demand[src].union(in_region)
-                else:
-                    demand[src] = in_region
-
-        clamped: dict[str, Region] = {}
-        for name, region in demand.items():
-            if name == INPUT_NODE:
-                _, h, w = graph.input_shape
-            else:
-                shape = shapes[name]
-                h, w = shape[1], shape[2]
-            clamped[name] = region.clamp(h, w)
-
+        demand, clamped = compose_branch_demand(
+            graph, prefix_nodes, split_output_node, tile, shapes
+        )
         branches.append(
             BranchPlan(
                 patch_id=patch_id,

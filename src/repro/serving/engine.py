@@ -231,19 +231,33 @@ class InferenceEngine:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(x, key=key).result()
 
-    def open_stream(self, key: Hashable | None = None) -> StreamSession:
+    def open_stream(
+        self,
+        key: Hashable | None = None,
+        accuracy_mode: str = "exact",
+        drift_sample_every: int = 0,
+        max_stale_frames: int | None = None,
+    ) -> StreamSession:
         """Open a streaming session against one of this engine's pipelines.
 
         The returned :class:`~repro.streaming.StreamSession` serves successive
         frames of one video/sensor stream with incremental patch
-        recomputation — bit-identical to full recomputation — using the same
-        execution mode (``parallel_patches`` / ``cluster``) as batched
-        requests.  Frames are processed synchronously in the caller's thread:
-        a stream is stateful (each frame diffs against the previous one), so
-        its frames cannot be re-ordered or batched with other traffic.  Every
-        processed frame records its reuse counters into the engine telemetry
+        recomputation — bit-identical to full recomputation in the default
+        ``accuracy_mode="exact"`` — using the same execution mode
+        (``parallel_patches`` / ``cluster``) as batched requests.  Frames are
+        processed synchronously in the caller's thread: a stream is stateful
+        (each frame diffs against the previous one), so its frames cannot be
+        re-ordered or batched with other traffic.  Every processed frame
+        records its reuse counters into the engine telemetry
         (``stream_frames``, ``stream_branches_executed``,
         ``stream_branches_reused``, ``stream_reuse_rate``).
+
+        ``accuracy_mode="stale_halo"`` opts the stream into the approximate
+        tier (halo-only-dirty branches served stale, bounded by
+        ``max_stale_frames``); its stale tile counts land in
+        ``stream_branches_stale`` and every drift sample (taken each
+        ``drift_sample_every`` frames) updates ``stream_drift_samples`` /
+        ``stream_max_drift_abs`` / ``stream_max_drift_rms``.
         """
         if self._closed:
             raise EngineClosed("engine is closed")
@@ -255,27 +269,45 @@ class InferenceEngine:
         stats = self.cache.stats()
         self.telemetry.record_cache(stats.hits, stats.misses, stats.evictions)
         session = pipeline.open_stream(
-            parallel=self.parallel_patches, cluster=self.cluster
+            parallel=self.parallel_patches,
+            cluster=self.cluster,
+            accuracy_mode=accuracy_mode,
+            drift_sample_every=drift_sample_every,
+            max_stale_frames=max_stale_frames,
         )
-        session.add_observer(
-            lambda frame: self.telemetry.record_stream_frame(
-                frame.executed_branches, frame.reused_branches
+
+        def _record(frame) -> None:
+            self.telemetry.record_stream_frame(
+                frame.executed_branches,
+                frame.reused_branches,
+                len(frame.stale_branches),
             )
-        )
+            if frame.drift_max_abs is not None:
+                self.telemetry.record_stream_drift(
+                    frame.drift_max_abs, frame.drift_rms or 0.0
+                )
+
+        session.add_observer(_record)
         return session
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting requests; flush whatever is queued, then stop the batcher."""
+        """Stop accepting requests; flush whatever is queued, then stop the batcher.
+
+        Idempotent, and ``wait=True`` always waits: a ``close(wait=True)``
+        after an earlier ``close(wait=False)`` still joins the batcher thread
+        (shutdown is only *initiated* once, but the join must not be skipped
+        by the closed-guard).
+        """
         with self._submit_lock:
-            if self._closed:
-                return
-            self._closed = True
-            self._queue.put(_SHUTDOWN)
+            already_closed = self._closed
+            if not already_closed:
+                self._closed = True
+                self._queue.put(_SHUTDOWN)
         # Unhook from the (possibly shared, possibly longer-lived) cache when
         # we are at the head of the chain.  If a later engine wrapped on top
         # of us we must stay mid-chain — but the hook only weak-references us,
         # so staying costs a small closure, not the engine.
-        if self.cache.on_evict is self._evict_hook:
+        if not already_closed and self.cache.on_evict is self._evict_hook:
             self.cache.on_evict = self._chained_on_evict
         if wait:
             self._batcher.join()

@@ -257,6 +257,9 @@ class CompiledPipeline:
         parallel: bool = False,
         max_workers: int | None = None,
         cluster: ClusterSpec | None = None,
+        accuracy_mode: str = "exact",
+        drift_sample_every: int = 0,
+        max_stale_frames: int | None = None,
     ) -> StreamSession:
         """Open a :class:`~repro.streaming.StreamSession` on this pipeline.
 
@@ -266,9 +269,20 @@ class CompiledPipeline:
         ``cluster`` pick the executor exactly as :meth:`infer` does; the
         executor is owned (and eventually closed) by the pipeline, so the
         session must not outlive it.
+
+        ``accuracy_mode="stale_halo"`` opts the stream into the approximate
+        tier: branches whose changes are confined to their halo are served
+        stale (bounded by ``max_stale_frames``), with drift vs the exact path
+        sampled every ``drift_sample_every`` frames — see
+        :class:`~repro.streaming.StreamSession`.
         """
         executor = self.executor(parallel=parallel, max_workers=max_workers, cluster=cluster)
-        session = StreamSession(executor)
+        session = StreamSession(
+            executor,
+            accuracy_mode=accuracy_mode,
+            drift_sample_every=drift_sample_every,
+            max_stale_frames=max_stale_frames,
+        )
         session.add_observer(lambda stats: self._clear_layer_caches())
         return session
 

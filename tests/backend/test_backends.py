@@ -229,3 +229,52 @@ class TestParallelChunking:
             tiles = executor.compute_tiles(small_input, ids)
             assert executor._pool is not None
             assert [b.patch_id for b, _ in tiles] == ids
+
+
+# -------------------------------------------------------------- multiprocess
+class TestMultiprocessLifecycle:
+    def test_close_releases_fork_state_and_executor(self, small_plan, small_input):
+        """Regression: the ``_FORK_STATE`` token used to outlive ``close()``,
+        pinning the executor (plan + weights) in long-lived parents."""
+        import gc
+        import weakref
+
+        from repro.backend.base import BackendUnavailable
+        from repro.backend.multiprocess import _FORK_STATE
+
+        try:
+            executor = PatchExecutor(small_plan, backend="multiprocess")
+        except BackendUnavailable:
+            pytest.skip("platform has no fork start method")
+        reference = executor.forward(small_input)
+        assert any(state is executor for state in _FORK_STATE.values())
+        ref = weakref.ref(executor)
+        executor.close()
+        assert all(state is not executor for state in _FORK_STATE.values())
+        del executor
+        gc.collect()  # executor<->backend is a cycle; the token must not pin it
+        assert ref() is None
+        assert reference.shape[0] == small_input.shape[0]
+
+    def test_close_pops_token_even_when_pool_teardown_raises(self, small_plan):
+        from repro.backend.base import BackendUnavailable
+        from repro.backend.multiprocess import _FORK_STATE, MultiprocessBackend
+
+        with PatchExecutor(small_plan) as executor:
+            try:
+                backend = MultiprocessBackend(executor, workers=1)
+            except BackendUnavailable:
+                pytest.skip("platform has no fork start method")
+
+            class _ExplodingPool:
+                def terminate(self):
+                    raise RuntimeError("terminate failed")
+
+                def join(self):  # pragma: no cover - never reached
+                    pass
+
+            backend._pool = _ExplodingPool()
+            token = backend._token
+            with pytest.raises(RuntimeError, match="terminate failed"):
+                backend.close()
+            assert token not in _FORK_STATE

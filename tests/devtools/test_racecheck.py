@@ -130,6 +130,22 @@ class TestUnguardedState:
         assert [f.kind for f in findings] == ["unguarded-shared-state"]
         assert findings[0].subject == "counter"
 
+    def test_sequential_threads_still_flagged(self):
+        """Regression: thread identity used to be ``threading.get_ident()``,
+        which CPython reuses once a thread exits — two short-lived threads
+        running back-to-back collapsed into "one thread" and the race
+        vanished (flakily, since it depended on scheduling)."""
+        monitor = RaceMonitor()
+        for _ in range(2):
+            thread = threading.Thread(
+                target=lambda: monitor.record_access("counter")
+            )
+            thread.start()
+            thread.join()  # fully retired before the next thread starts
+        findings = monitor.unguarded_states()
+        assert [f.kind for f in findings] == ["unguarded-shared-state"]
+        assert findings[0].subject == "counter"
+
     def test_common_lock_is_clean(self):
         monitor = RaceMonitor()
         self._access_from_threads(monitor, with_lock=True)

@@ -8,7 +8,9 @@ everything a refactor could silently change:
 * the chosen patch schedule and searched bitwidth totals (BitOPs, peak SRAM);
 * a SHA-256 over the exact output logits bytes for a fixed input batch;
 * the analytic latency-model numbers (single device, serving batch, and the
-  2-/4-device cluster makespans with their pipelined variant).
+  2-/4-device cluster makespans with their pipelined variant);
+* the ``stale_halo`` approximation tier's behaviour on a crafted halo-only
+  perturbation (exact staleness geometry plus bounded drift magnitudes).
 
 Logit *bytes* are only reproducible on one BLAS/NumPy build, so each golden
 file records the environment it was produced on; the test enforces the exact
@@ -84,6 +86,78 @@ def golden_path(case_name: str) -> Path:
     return GOLDEN_DIR / f"golden_{case_name}.json"
 
 
+def _halo_only_pixel(plan) -> tuple[int, int, int, int]:
+    """A pixel inside some branch's halo band that another branch owns.
+
+    Perturbing it core-dirties the owner while only halo-dirtying the other
+    branch — the minimal deterministic scenario that exercises the
+    ``stale_halo`` approximation tier (a wandering-object video on these
+    small grids either misses the one-pixel halo bands entirely or
+    core-dirties every quadrant, so the scenario is crafted from geometry).
+    """
+    from repro.patch.stale import plan_stale_geometry
+
+    geometry = plan_stale_geometry(plan)
+    for geo in geometry.values():
+        for band in geo.halo_bands:
+            if band.area == 0:
+                continue
+            row, col = band.row_start, band.col_start
+            owner = next(
+                g.patch_id
+                for g in geometry.values()
+                if g.owned_input.row_start <= row < g.owned_input.row_stop
+                and g.owned_input.col_start <= col < g.owned_input.col_stop
+            )
+            if owner != geo.patch_id:
+                return row, col, owner, geo.patch_id
+    raise AssertionError("plan has no cross-owned halo band")
+
+
+def _stale_drift_record(compiled) -> dict:
+    """Fingerprint the stale-halo tier on a crafted halo-only perturbation.
+
+    Which branches go stale, how many frames lag, and the sampling counts are
+    pure geometry over deterministically generated frames — pinned exactly.
+    The drift magnitudes are float accumulations and move with the BLAS
+    build, so the record stores the measured values for reference plus
+    generous ``*4 + 1e-3`` upper bounds that every environment must respect.
+    """
+    plan = compiled.plan
+    row, col, owner, lagging = _halo_only_pixel(plan)
+    session = compiled.open_stream(
+        accuracy_mode="stale_halo", drift_sample_every=1, max_stale_frames=None
+    )
+    frame = (
+        np.random.default_rng(7)
+        .standard_normal(plan.graph.input_shape)
+        .astype(np.float32)
+    )
+    session.process(frame)
+    stale_per_frame = [list(session.last_frame.stale_branches)]
+    for _ in range(5):
+        frame = frame.copy()
+        frame[:, row, col] += 1.0
+        session.process(frame)
+        stale_per_frame.append(list(session.last_frame.stale_branches))
+    stats = session.stats()
+    assert stats.max_drift_abs > 0.0, "crafted scenario must actually drift"
+    return {
+        "perturbed_pixel": [row, col],
+        "owner_branch": owner,
+        "lagging_branch": lagging,
+        "frames": stats.frames,
+        "stale_frames": stats.stale_frames,
+        "stale_branches_served": stats.stale_branches_served,
+        "drift_samples": stats.drift_samples,
+        "stale_branches_per_frame": stale_per_frame,
+        "max_abs": round(stats.max_drift_abs, 6),
+        "max_rms": round(stats.max_drift_rms, 6),
+        "max_abs_bound": round(4 * stats.max_drift_abs + 1e-3, 6),
+        "max_rms_bound": round(4 * stats.max_drift_rms + 1e-3, 6),
+    }
+
+
 def compute_case(case_name: str) -> dict:
     """Run one case end-to-end and return its fingerprint record."""
     params = CASES[case_name]
@@ -149,6 +223,8 @@ def compute_case(case_name: str) -> dict:
             "mac_fraction": round(stream_stats.mac_fraction, 6),
         }
 
+    stale_drift = _stale_drift_record(compiled)
+
     return {
         "environment": environment_fingerprint(),
         "model": {"name": model_name, "resolution": resolution},
@@ -175,6 +251,7 @@ def compute_case(case_name: str) -> dict:
             "serving_batch4_ms": serving4.total_ms,
             "cluster": cluster_ms,
         },
+        "stale_drift": stale_drift,
         **({"streaming": streaming} if streaming is not None else {}),
     }
 

@@ -385,3 +385,20 @@ def test_mixed_key_batching_never_mixes_deployments(tiny_mobilenet, rng):
 
     assert sum(n for key, n in served if key == ("mobilenetv2", 8)) == 3
     assert sum(n for key, n in served if key == ("mobilenetv2", 4)) == 3
+
+
+def test_close_wait_after_nonblocking_close_still_joins(compiled_mobilenet, rng):
+    """Regression: ``close(wait=True)`` after ``close(wait=False)`` used to
+    hit the closed-guard's early return and skip the join, so the caller
+    could not actually wait for the batcher to finish flushing."""
+    engine = InferenceEngine(compiled_mobilenet, max_batch_size=4, batch_timeout_s=0.01)
+    futures = [
+        engine.submit(rng.standard_normal((3, 32, 32)).astype(np.float32))
+        for _ in range(3)
+    ]
+    engine.close(wait=False)  # initiates shutdown, returns immediately
+    engine.close(wait=True)  # must block until the batcher flushed and exited
+    assert not engine._batcher.is_alive()
+    for future in futures:
+        assert future.done()
+        assert future.result().shape == compiled_mobilenet.graph.output_shape()
