@@ -34,6 +34,8 @@ from repro.data import SyntheticImageNet
 from repro.distributed import PipelineParallelScheduler, ShardPlanner
 from repro.experiments.presets import get_scale
 from repro.hardware import estimate_cluster_latency, make_cluster
+from repro.runtime import ExecutionPolicy
+from repro.runtime import cluster as cluster_placement
 from repro.serving import InferenceEngine, ModelSpec, compile_pipeline
 
 
@@ -56,7 +58,8 @@ def main() -> None:
 
     print("\n== shard plan on a 4-device STM32H743 cluster ==")
     cluster = make_cluster("stm32h743", 4)
-    executor = compiled.executor(cluster=cluster)  # cached, hooks attached
+    policy = ExecutionPolicy(placement=cluster_placement(cluster))
+    executor = compiled.executor(policy=policy)  # cached, hooks attached
     shard_plan = executor.shard_plan
     print(f"{'device':>7}{'branches':>10}{'MACs':>12}{'halo MACs':>11}{'SRAM ok':>9}")
     for shard in shard_plan.shards:
@@ -87,7 +90,7 @@ def main() -> None:
     images = dataset.test[0]
     x = images[:4]
     reference = compiled.infer(x)
-    distributed = compiled.infer(x, cluster=cluster)
+    distributed = compiled.infer(x, policy=policy)
     print(f"distributed output == sequential output: {np.array_equal(distributed, reference)}")
     # Compare per micro-batch: results across *different* batch sizes are only
     # float-rounding-equal (BLAS picks shape-dependent GEMM kernels).
@@ -100,7 +103,7 @@ def main() -> None:
 
     print("\n== serving through the engine's distributed dispatch path ==")
     engine = InferenceEngine(
-        compiled, max_batch_size=8, batch_timeout_s=0.002, cluster=cluster
+        compiled, max_batch_size=8, batch_timeout_s=0.002, policy=policy
     )
 
     def client(seed: int) -> None:

@@ -31,6 +31,8 @@ import numpy as np
 from repro import QuantMCUPipeline, build_model
 from repro.data import SyntheticImageNet
 from repro.hardware import ARDUINO_NANO_33_BLE
+from repro.runtime import ExecutionPolicy
+from repro.runtime import threads as threads_placement
 from repro.serving import CompiledPipeline, InferenceEngine, ModelSpec, compile_pipeline
 
 
@@ -65,7 +67,7 @@ def main() -> None:
         compiled,
         max_batch_size=8,
         batch_timeout_s=0.002,
-        parallel_patches=True,
+        policy=ExecutionPolicy(placement=threads_placement()),
         device=device,
     )
 

@@ -23,6 +23,7 @@ from . import (
     nn,
     patch,
     quant,
+    runtime,
     serving,
     streaming,
 )
@@ -31,6 +32,7 @@ from .distributed import DistributedExecutor, ShardPlanner
 from .hardware import ARDUINO_NANO_33_BLE, STM32H743, ClusterSpec, MCUDevice, get_cluster, get_device
 from .models import available_models, build_model
 from .quant import FeatureMapIndex, QuantizationConfig
+from .runtime import ExecutionPolicy, Placement, Runtime
 from .serving import CompiledPipeline, InferenceEngine, ModelSpec, compile_pipeline
 from .streaming import StreamSession
 
@@ -49,8 +51,12 @@ __all__ = [
     "devtools",
     "distributed",
     "experiments",
+    "runtime",
     "serving",
     "streaming",
+    "ExecutionPolicy",
+    "Placement",
+    "Runtime",
     "StreamSession",
     "DistributedExecutor",
     "ShardPlanner",

@@ -25,10 +25,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 from itertools import count
-from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..runtime.resources import attach_segment
 from .base import Backend, BackendUnavailable
 
 __all__ = ["MultiprocessBackend"]
@@ -38,33 +38,10 @@ _FORK_STATE: dict = {}
 _TOKENS = count()
 
 
-def _attach(name: str) -> shared_memory.SharedMemory:
-    """Attach to an existing segment without registering it for cleanup.
-
-    The parent owns the segment's lifetime (it unlinks after reading the
-    tiles); letting the worker's resource tracker also register it produces
-    spurious leak warnings / double unlinks at worker exit.
-    """
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # Python < 3.13: no track kwarg; suppress registration.
-        # unregister() after the fact is not enough: the tracker's cache is a
-        # set, so N worker registrations collapse into one entry and the
-        # extra unregisters raise KeyErrors inside the tracker process.
-        from multiprocessing import resource_tracker
-
-        original = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
-            return shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
-
-
 def _run_chunk(token: int, shm_name: str, x_shape: tuple, chunk: list) -> None:
     """Worker side: compute a chunk of branches, writing tiles into shm."""
     executor = _FORK_STATE[token]
-    shm = _attach(shm_name)
+    shm = attach_segment(shm_name)
     try:
         x = np.ndarray(x_shape, dtype=np.float32, buffer=shm.buf)
         ids = [patch_id for patch_id, _, _ in chunk]
@@ -93,14 +70,19 @@ class MultiprocessBackend(Backend):
         requested = workers if workers is not None else (os.cpu_count() or 1)
         self._workers = max(1, min(self.plan.num_branches, requested))
         self._pool = None
+        self._pool_runtime = None
         self._token = next(_TOKENS)
         # Registered before the pool ever forks, so workers inherit the entry.
         _FORK_STATE[self._token] = executor
 
     def _ensure_pool(self):
         if self._pool is None:
-            ctx = multiprocessing.get_context("fork")
-            self._pool = ctx.Pool(processes=self._workers)
+            # Fork pools are runtime-tracked but never shared: the workers
+            # inherit _FORK_STATE at fork time, so this pool only knows
+            # executors registered before it was created.
+            runtime = self.executor.runtime
+            self._pool = runtime.fork_pool(self._workers)
+            self._pool_runtime = runtime
         return self._pool
 
     def run_branches(self, x, branch_ids):
@@ -120,10 +102,11 @@ class MultiprocessBackend(Backend):
             jobs.append((patch_id, cursor, shape))
             cursor += int(np.prod(shape)) * 4
 
-        shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+        pool = self._ensure_pool()
+        runtime = self._pool_runtime
+        shm = runtime.shared_segment(cursor)
         try:
             np.ndarray(x.shape, dtype=np.float32, buffer=shm.buf)[...] = x
-            pool = self._ensure_pool()
             chunk_size = -(-len(jobs) // self._workers)  # ceil division
             pending = [
                 pool.apply_async(
@@ -138,8 +121,7 @@ class MultiprocessBackend(Backend):
                 for _, offset, shape in jobs
             ]
         finally:
-            shm.close()
-            shm.unlink()
+            runtime.release_segment(shm)
         return [(branches[patch_id], tile) for patch_id, tile in zip(branch_ids, tiles)]
 
     def close(self) -> None:
@@ -147,10 +129,16 @@ class MultiprocessBackend(Backend):
         # a surviving token would keep the executor (plan + weights) alive in
         # the parent for the life of the process.
         try:
-            if self._pool is not None:
-                self._pool.terminate()
-                self._pool.join()
-                self._pool = None
+            pool = self._pool
+            if pool is not None:
+                try:
+                    pool.terminate()
+                    pool.join()
+                    self._pool = None
+                finally:
+                    if self._pool_runtime is not None:
+                        self._pool_runtime.discard_fork_pool(pool)
+                        self._pool_runtime = None
         finally:
             _FORK_STATE.pop(self._token, None)
         super().close()

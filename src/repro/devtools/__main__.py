@@ -61,6 +61,7 @@ __all__ = [
     "run_perfgate",
     "abba_selftest",
     "cache_stress_scenario",
+    "runtime_stress_scenario",
 ]
 
 
@@ -128,6 +129,44 @@ def cache_stress_scenario(threads: int, iterations: int) -> "RaceMonitor":
     return monitor
 
 
+def runtime_stress_scenario(threads: int, iterations: int) -> "RaceMonitor":
+    """Hammer one shared :class:`~repro.runtime.Runtime` under jitter.
+
+    The shape of PR 10's shared-resource refactor: every executor now leases
+    pools from a runtime other tenants are using concurrently.  Workers
+    lease/submit/release against a small set of pool keys while others read
+    ``stats()`` and churn shared-memory segments, and the last iteration
+    races ``close()`` against in-flight leases — late tenants must see a
+    clean :class:`~repro.runtime.RuntimeClosed`, never a hang or a cycle.
+    """
+    from ..runtime.resources import Runtime, RuntimeClosed
+
+    harness = StressHarness(threads=threads, iterations=iterations, seed=11)
+    monitor = RaceMonitor(jitter=harness.pause)
+    runtime = Runtime(name="racecheck")
+    instrument([runtime], monitor)
+
+    def workload(worker: int, iteration: int) -> None:
+        try:
+            lease = runtime.thread_pool((worker % 2) + 1, tag="stress")
+            lease.submit(int).result()
+            lease.release()  # repro: noqa[REP002] - pool lease, not a lock
+            if iteration % 7 == 0:
+                runtime.stats()
+            if iteration % 13 == 0:
+                runtime.release_segment(runtime.shared_segment(32))
+            if worker == 0 and iteration == harness.iterations - 1:
+                runtime.close()
+        except RuntimeClosed:
+            pass  # the closer won the race; the documented contract
+
+    report = harness.run(workload)
+    runtime.close()
+    if report.errors:
+        raise report.errors[0]
+    return monitor
+
+
 def run_racecheck(args: argparse.Namespace) -> int:
     ok = True
     if not abba_selftest():
@@ -135,11 +174,13 @@ def run_racecheck(args: argparse.Namespace) -> int:
         ok = False
     else:
         print("racecheck selftest: seeded ABBA inversion detected (detector live)")
-    monitor = cache_stress_scenario(args.threads, args.iterations)
-    report = monitor.report()
-    print(report.render())
-    if report.findings:
-        ok = False
+    for scenario in (cache_stress_scenario, runtime_stress_scenario):
+        monitor = scenario(args.threads, args.iterations)
+        report = monitor.report()
+        print(f"[{scenario.__name__}]")
+        print(report.render())
+        if report.findings:
+            ok = False
     print("racecheck: OK" if ok else "racecheck: FAILED")
     return 0 if ok else 1
 

@@ -174,6 +174,22 @@ def run_kernel_bench(
 
         im2col_loop = _many(lambda: F.im2col_reference(*col_args))
         im2col_vec = _many(lambda: F.im2col(*col_args))
+
+        # Serving latency distribution: single-image requests through the
+        # dynamic-batching engine.  Tail percentiles (not just means) are
+        # what a serving change regresses first — a lock added on the submit
+        # path shows up in p99 long before it moves p50.
+        from ..serving.engine import InferenceEngine
+
+        serving_samples = []
+        with InferenceEngine(vec, max_batch_size=4, batch_timeout_s=0.0005) as engine:
+            engine.infer(frame0)  # warm the executor and batcher path
+            for _ in range(50):
+                t0 = time.perf_counter()
+                engine.infer(frame0)
+                serving_samples.append(time.perf_counter() - t0)
+        serving_p50 = float(np.percentile(serving_samples, 50))
+        serving_p99 = float(np.percentile(serving_samples, 99))
     finally:
         loop.close()
         vec.close()
@@ -201,6 +217,10 @@ def run_kernel_bench(
         "im2col_ms_loop": im2col_loop * 1e3,
         "im2col_ms_vectorized": im2col_vec * 1e3,
         "im2col_speedup": im2col_loop / im2col_vec,
+        # Engine-served request latency percentiles (informational: absolute
+        # wall times are machine-dependent, so they never join gate_metrics).
+        "serving_p50_ms": serving_p50 * 1e3,
+        "serving_p99_ms": serving_p99 * 1e3,
         # Ratio metrics the perf gate enforces (higher-is-better; wall times
         # are machine-dependent, ratios within one process are not).  The
         # streaming and im2col ratios stay informational: their margins over

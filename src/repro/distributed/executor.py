@@ -86,9 +86,14 @@ class DistributedExecutor(PatchExecutor):
         shard_plan: ShardPlan | None = None,
         config: QuantizationConfig | None = None,
         backend=None,
+        runtime=None,
     ) -> None:
         super().__init__(
-            plan, branch_hook=branch_hook, suffix_hook=suffix_hook, backend=backend
+            plan,
+            branch_hook=branch_hook,
+            suffix_hook=suffix_hook,
+            backend=backend,
+            runtime=runtime,
         )
         if shard_plan is None:
             if cluster is None:
@@ -120,11 +125,15 @@ class DistributedExecutor(PatchExecutor):
 
     def _ensure_workers(self) -> list[DeviceShard]:
         if self._workers is None:
+            # Shards lease their serial pools from this executor's runtime,
+            # so shard teardown is covered by one Runtime.close() and two
+            # executors sharing a runtime share the per-device pools.
             self._workers = [
                 DeviceShard(
                     device_id=shard.device_id,
                     branches=[self.plan.branches[b] for b in shard.branch_ids],
                     run_branches=self._shard_run_branches,
+                    runtime=self.runtime,
                 )
                 for shard in self.shard_plan.shards
             ]

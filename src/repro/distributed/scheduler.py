@@ -151,6 +151,14 @@ class PipelineParallelScheduler:
         In ``stale_halo`` mode, compare every Nth displaced micro-batch
         against the exact path and append a :class:`DriftSample` to
         :attr:`drift_samples` (0 disables sampling).
+    policy:
+        Alternative to the three mode keywords: an
+        :class:`~repro.runtime.ExecutionPolicy` whose freshness tier maps
+        onto the schedule — ``exact`` → fresh halos, ``displaced`` →
+        displaced rounds with verify-and-patch (bit-identical), and
+        ``stale_halo`` → displaced rounds served stale with the policy's
+        drift sampling.  Mutually exclusive with explicit
+        ``halo_mode``/``accuracy_mode``/``drift_sample_every`` values.
 
     After (or during) a run, :attr:`rounds` records each micro-batch's halo
     version and correction count; both it and :attr:`drift_samples` are reset
@@ -165,7 +173,23 @@ class PipelineParallelScheduler:
         halo_mode: str = "fresh",
         accuracy_mode: str = "verify_patch",
         drift_sample_every: int = 0,
+        policy=None,
     ) -> None:
+        if policy is not None:
+            if (halo_mode, accuracy_mode, drift_sample_every) != (
+                "fresh",
+                "verify_patch",
+                0,
+            ):
+                raise ValueError(
+                    "pass either policy= or the halo_mode/accuracy_mode/"
+                    "drift_sample_every keywords, not both"
+                )
+            if policy.tier == "displaced":
+                halo_mode, accuracy_mode = "displaced", "verify_patch"
+            elif policy.tier == "stale_halo":
+                halo_mode, accuracy_mode = "displaced", "stale_halo"
+                drift_sample_every = policy.drift_sample_every
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         if halo_mode not in HALO_MODES:

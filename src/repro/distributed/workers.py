@@ -15,14 +15,17 @@ patch-parallel execution, so device sharding cannot change any result bit.
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..patch.plan import BranchPlan
 from ..patch.regions import Region
 from ..patch.stale import composite_input
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.resources import Runtime, ThreadPoolLease
 
 __all__ = ["DeviceShard"]
 
@@ -50,6 +53,10 @@ class DeviceShard:
         backend, so a shard's branches execute as one vectorized group
         instead of one NumPy round trip per branch).  Takes precedence over
         ``run_branch`` when both are given.
+    runtime:
+        The :class:`~repro.runtime.Runtime` to lease the device's serial
+        pool from; without one, a private runtime is created lazily (the
+        historical single-owner lifecycle).
     """
 
     def __init__(
@@ -58,6 +65,7 @@ class DeviceShard:
         branches: list[BranchPlan],
         run_branch: RunBranch | None = None,
         run_branches: RunBranches | None = None,
+        runtime: "Runtime | None" = None,
     ) -> None:
         if run_branch is None and run_branches is None:
             raise ValueError("provide run_branch or run_branches")
@@ -65,21 +73,39 @@ class DeviceShard:
         self.branches = list(branches)
         self._run_branch = run_branch
         self._run_branches = run_branches
-        self._pool: ThreadPoolExecutor | None = None
+        self._runtime = runtime
+        self._private_runtime: "Runtime | None" = None
+        self._pool: "ThreadPoolLease | None" = None
 
     # ----------------------------------------------------------------- pool
-    def _ensure_pool(self) -> ThreadPoolExecutor:
+    @property
+    def runtime(self) -> "Runtime":
+        """The resource runtime this shard leases its serial pool from."""
+        if self._runtime is not None:
+            return self._runtime
+        if self._private_runtime is None or self._private_runtime.closed:
+            from ..runtime.resources import Runtime
+
+            self._private_runtime = Runtime(name=f"DeviceShard-{self.device_id}-private")
+        return self._private_runtime
+
+    def _ensure_pool(self) -> "ThreadPoolLease":
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"device-{self.device_id}"
-            )
+            self._pool = self.runtime.serial_pool("device", self.device_id)
         return self._pool
 
     def close(self) -> None:
-        """Shut the device's executor thread down (idempotent)."""
+        """Release the device's serial pool (idempotent).
+
+        A private runtime (the default) joins the executor thread; a shared
+        runtime keeps the pool warm for other shards leasing the same device.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.release()  # repro: noqa[REP002] - pool lease, not a lock
             self._pool = None
+        if self._private_runtime is not None:
+            self._private_runtime.close()
+            self._private_runtime = None
 
     # ------------------------------------------------------------ execution
     def submit_patch_stage(self, x: np.ndarray) -> "Future[list[tuple[BranchPlan, np.ndarray]]]":

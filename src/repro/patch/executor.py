@@ -44,6 +44,7 @@ from .regions import Region, backward_region
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..backend import Backend
+    from ..runtime.resources import Runtime
 
 __all__ = ["PatchExecutor"]
 
@@ -60,6 +61,7 @@ class PatchExecutor:
         branch_hook: BranchHook | None = None,
         suffix_hook: SuffixHook | None = None,
         backend: "str | Backend | None" = None,
+        runtime: "Runtime | None" = None,
     ) -> None:
         self.plan = plan
         self.branch_hook = branch_hook
@@ -72,6 +74,34 @@ class PatchExecutor:
         self._configured_backend: "Backend | None" = None
         self._loop_backend: "Backend | None" = None
         self._inproc_backend: "Backend | None" = None
+        # Resource ownership: an injected runtime is shared (close() leaves it
+        # alone); without one, a private runtime is created on demand — and
+        # re-created after close(), preserving the historical "closed
+        # executors revive their pools on next use" lifecycle.
+        self._runtime = runtime
+        self._private_runtime: "Runtime | None" = None
+
+    # ---------------------------------------------------------------- runtime
+    @property
+    def runtime(self) -> "Runtime":
+        """The resource runtime this executor leases pools/segments from."""
+        if self._runtime is not None:
+            return self._runtime
+        if self._private_runtime is None or self._private_runtime.closed:
+            from ..runtime.resources import Runtime
+
+            self._private_runtime = Runtime(name=f"{type(self).__name__}-private")
+        return self._private_runtime
+
+    @property
+    def owns_runtime(self) -> bool:
+        """Whether close() tears the runtime down (False when injected)."""
+        return self._runtime is None
+
+    def _close_runtime(self) -> None:
+        if self._private_runtime is not None:
+            self._private_runtime.close()
+            self._private_runtime = None
 
     # ---------------------------------------------------------------- backend
     @property
@@ -124,7 +154,12 @@ class PatchExecutor:
         return self._inproc_backend
 
     def close(self) -> None:
-        """Release backend resources (scratch buffers, worker pools); idempotent."""
+        """Release backend resources (scratch buffers, worker pools); idempotent.
+
+        Backends close first (they release fork pools / segments back to the
+        runtime), then a *private* runtime is torn down; an injected runtime
+        is shared infrastructure and stays up for its other tenants.
+        """
         from ..backend import Backend
 
         for backend in (
@@ -136,6 +171,7 @@ class PatchExecutor:
                 backend.close()
         if isinstance(self._backend_spec, Backend):
             self._backend_spec.close()
+        self._close_runtime()
 
     def __enter__(self) -> "PatchExecutor":
         return self

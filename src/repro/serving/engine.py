@@ -40,9 +40,12 @@ from typing import Hashable
 
 import numpy as np
 
+from ..distributed.planner import ShardPlanner
 from ..hardware.cluster import ClusterSpec, estimate_cluster_serving_latency
 from ..hardware.device import MCUDevice
 from ..hardware.latency import estimate_serving_latency
+from ..runtime.policy import ExecutionPolicy
+from ..runtime.resources import Runtime
 from ..streaming.session import StreamSession
 from .cache import PipelineCache
 from .pipeline import CompiledPipeline
@@ -110,14 +113,27 @@ class InferenceEngine:
         Flush a group once its oldest request has waited this long, even if
         the batch is not full.
     parallel_patches:
-        Run the patch stage of each flush through the patch-parallel worker
-        pool (bit-identical to sequential execution).
+        Deprecated: run the patch stage of each flush through the
+        patch-parallel worker pool (bit-identical to sequential execution).
+        Pass ``policy=ExecutionPolicy(placement=threads())`` instead.
     cluster:
-        Optional :class:`~repro.hardware.cluster.ClusterSpec`; flushes then
-        dispatch through the multi-device patch-sharded executor (also
-        bit-identical), and the modelled telemetry latency switches to the
-        cluster makespan model.  Mutually exclusive with ``parallel_patches``
-        (a cluster already owns the parallelism structure).
+        Deprecated: optional :class:`~repro.hardware.cluster.ClusterSpec`;
+        flushes then dispatch through the multi-device patch-sharded executor
+        (also bit-identical), and the modelled telemetry latency switches to
+        the cluster makespan model.  Mutually exclusive with
+        ``parallel_patches`` (a cluster already owns the parallelism
+        structure).  Pass ``policy=ExecutionPolicy(placement=cluster(spec))``
+        instead.
+    policy:
+        The :class:`~repro.runtime.ExecutionPolicy` every flush and stream
+        executes under — the one description of placement, kernel backend and
+        freshness tier.  Mutually exclusive with the deprecated
+        ``parallel_patches``/``cluster`` keywords.
+    runtime:
+        Optional shared :class:`~repro.runtime.Runtime`; executors built for
+        this engine lease their pools from it, so two engines given the same
+        runtime share one pool set and one ``Runtime.close()`` releases
+        everything.  Without one, executors manage private runtimes.
     device:
         Optional MCU target; attaches an amortized modelled per-request
         on-device latency to the telemetry.  Ignored for the compute model
@@ -135,9 +151,23 @@ class InferenceEngine:
         cluster: ClusterSpec | None = None,
         device: MCUDevice | None = None,
         telemetry: TelemetryRecorder | None = None,
+        policy: ExecutionPolicy | None = None,
+        runtime: Runtime | None = None,
     ) -> None:
-        if cluster is not None and parallel_patches:
-            raise ValueError("parallel_patches and cluster are mutually exclusive")
+        legacy: dict = {}
+        if parallel_patches:
+            legacy["parallel_patches"] = True
+        if cluster is not None:
+            legacy["cluster"] = cluster
+        # The historical parallel_patches × cluster ValueError (and every
+        # other invalid combination) is checked inside resolve(), once.
+        self.policy = ExecutionPolicy.resolve(policy, **legacy)
+        if self.policy.tier == "displaced":
+            raise ValueError(
+                "the 'displaced' tier is a pipeline-parallel schedule over "
+                "micro-batches; InferenceEngine serves 'exact'/'stale_halo' "
+                "policies — use PipelineParallelScheduler instead"
+            )
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_timeout_s < 0:
@@ -153,8 +183,11 @@ class InferenceEngine:
             self._default_key = None
         self.max_batch_size = max_batch_size
         self.batch_timeout_s = batch_timeout_s
-        self.parallel_patches = parallel_patches
-        self.cluster = cluster
+        # Legacy read-only views derived from the policy (kept because
+        # callers and telemetry dashboards introspect them).
+        self.parallel_patches = self.policy.placement.kind == "threads"
+        self.cluster = self.policy.placement.cluster
+        self._runtime = runtime
         self.device = device
         self.telemetry = telemetry if telemetry is not None else TelemetryRecorder()
         self._queue: queue.Queue = queue.Queue()
@@ -168,6 +201,12 @@ class InferenceEngine:
         # (the eviction hook below) and batch-size keys are capped per
         # fingerprint, so a long-lived engine cannot grow it without bound.
         self._device_breakdowns: dict[str, OrderedDict[int, float]] = {}
+        # Shard-assignment memo for the cluster latency model, keyed by
+        # fingerprint.  Planned directly (ShardPlanner is deterministic LPT)
+        # instead of read off a DistributedExecutor: building an executor just
+        # to inspect its plan used to leak device worker pools into the
+        # pipeline's executor cache.
+        self._shard_assignments: dict[str, dict[int, int]] = {}
         self._breakdown_lock = threading.Lock()
         # Chain onto the cache's eviction callback (preserving any existing
         # one) so a pipeline leaving the cache drops its memoized latencies.
@@ -237,6 +276,7 @@ class InferenceEngine:
         accuracy_mode: str = "exact",
         drift_sample_every: int = 0,
         max_stale_frames: int | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> StreamSession:
         """Open a streaming session against one of this engine's pipelines.
 
@@ -258,7 +298,19 @@ class InferenceEngine:
         ``stream_branches_stale`` and every drift sample (taken each
         ``drift_sample_every`` frames) updates ``stream_drift_samples`` /
         ``stream_max_drift_abs`` / ``stream_max_drift_rms``.
+
+        On the new surface, pass a ``policy`` whose freshness tier describes
+        the stream (it defaults to the engine's policy, so placement and
+        backend follow batched requests unless overridden).
         """
+        legacy: dict = {}
+        if accuracy_mode != "exact":
+            legacy["accuracy_mode"] = accuracy_mode
+        if drift_sample_every:
+            legacy["drift_sample_every"] = drift_sample_every
+        if max_stale_frames is not None:
+            legacy["max_stale_frames"] = max_stale_frames
+        stream_policy = ExecutionPolicy.resolve(policy, base=self.policy, **legacy)
         if self._closed:
             raise EngineClosed("engine is closed")
         if key is None:
@@ -268,13 +320,7 @@ class InferenceEngine:
         pipeline = self.cache.get(key)
         stats = self.cache.stats()
         self.telemetry.record_cache(stats.hits, stats.misses, stats.evictions)
-        session = pipeline.open_stream(
-            parallel=self.parallel_patches,
-            cluster=self.cluster,
-            accuracy_mode=accuracy_mode,
-            drift_sample_every=drift_sample_every,
-            max_stale_frames=max_stale_frames,
-        )
+        session = pipeline.open_stream(policy=stream_policy, runtime=self._runtime)
 
         def _record(frame) -> None:
             self.telemetry.record_stream_frame(
@@ -406,9 +452,7 @@ class InferenceEngine:
                 if len(requests) == 1
                 else np.concatenate([r.x for r in requests], axis=0)
             )
-            output = pipeline.infer(
-                batch, parallel=self.parallel_patches, cluster=self.cluster
-            )
+            output = pipeline.infer(batch, policy=self.policy, runtime=self._runtime)
         except Exception as exc:  # propagate the failure to every caller
             for request in requests:
                 request.future.set_exception(exc)
@@ -451,10 +495,9 @@ class InferenceEngine:
         if seconds is None:
             suffix_config, branch_configs = pipeline.quantization_configs()
             if self.cluster is not None:
-                executor = pipeline.executor(cluster=self.cluster)
                 breakdown = estimate_cluster_serving_latency(
                     pipeline.plan,
-                    executor.shard_plan.assignment(),
+                    self._shard_assignment(pipeline),
                     self.cluster,
                     batch_size=batch_size,
                     config=suffix_config,
@@ -478,6 +521,25 @@ class InferenceEngine:
                     memo.popitem(last=False)
         return seconds / batch_size
 
+    def _shard_assignment(self, pipeline: CompiledPipeline) -> dict[int, int]:
+        """Branch→device assignment of the attached cluster for ``pipeline``.
+
+        Planned directly (and memoized by fingerprint) rather than read off
+        ``pipeline.executor(cluster=...)``: the planner is deterministic, so
+        the assignment is identical to the one a flush's executor uses, and
+        no :class:`~repro.distributed.DistributedExecutor` (with its device
+        worker pools) is constructed just to model latency.
+        """
+        with self._breakdown_lock:
+            assignment = self._shard_assignments.get(pipeline.fingerprint)
+        if assignment is None:
+            assignment = (
+                ShardPlanner(self.cluster).plan_shards(pipeline.plan).assignment()
+            )
+            with self._breakdown_lock:
+                self._shard_assignments.setdefault(pipeline.fingerprint, assignment)
+        return assignment
+
     def _drop_pipeline_breakdowns(self, key: Hashable, pipeline: object) -> None:
         """On cache eviction, drop the evicted pipeline's modelled latencies.
 
@@ -491,6 +553,7 @@ class InferenceEngine:
             if getattr(resident, "fingerprint", None) != fingerprint:
                 with self._breakdown_lock:
                     self._device_breakdowns.pop(fingerprint, None)
+                    self._shard_assignments.pop(fingerprint, None)
 
 
 def _eviction_hook(engine_ref: "weakref.ref[InferenceEngine]", chained):

@@ -29,12 +29,15 @@ split feature map) is inherently sequential and runs unchanged.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..patch.executor import BranchHook, PatchExecutor, SuffixHook
 from ..patch.plan import BranchPlan, PatchPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.resources import Runtime, ThreadPoolLease
 
 __all__ = ["ParallelPatchExecutor", "default_worker_count"]
 
@@ -76,28 +79,35 @@ class ParallelPatchExecutor(PatchExecutor):
         max_workers: int | None = None,
         inline_threshold: int | None = None,
         backend=None,
+        runtime: "Runtime | None" = None,
     ) -> None:
         super().__init__(
-            plan, branch_hook=branch_hook, suffix_hook=suffix_hook, backend=backend
+            plan,
+            branch_hook=branch_hook,
+            suffix_hook=suffix_hook,
+            backend=backend,
+            runtime=runtime,
         )
         self.max_workers = max_workers if max_workers is not None else default_worker_count(plan)
         self.inline_threshold = (
             inline_threshold if inline_threshold is not None else self.INLINE_THRESHOLD
         )
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool: "ThreadPoolLease | None" = None
 
     # ----------------------------------------------------------------- pool
-    def _ensure_pool(self) -> ThreadPoolExecutor:
+    def _ensure_pool(self) -> "ThreadPoolLease":
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.max_workers, thread_name_prefix="patch-worker"
-            )
+            self._pool = self.runtime.thread_pool(self.max_workers, tag="patch-worker")
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down and release backend scratch (idempotent)."""
+        """Release the worker-pool lease and backend scratch (idempotent).
+
+        A private runtime (the default) shuts the pool threads down with the
+        lease; a shared runtime keeps the pool warm for its other tenants.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.release()  # repro: noqa[REP002] - pool lease, not a lock
             self._pool = None
         super().close()
 

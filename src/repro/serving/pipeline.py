@@ -40,6 +40,8 @@ from ..patch.executor import PatchExecutor
 from ..patch.plan import PatchPlan, build_patch_plan
 from ..quant.config import QuantizationConfig
 from ..quant.quantizers import quantize_weight_per_channel
+from ..runtime.policy import ExecutionPolicy
+from ..runtime.resources import Runtime
 from ..streaming.session import StreamSession
 from .parallel import ParallelPatchExecutor
 
@@ -112,6 +114,7 @@ class CompiledPipeline:
         state: dict,
         spec: ModelSpec | None = None,
         backend: str | None = None,
+        runtime: Runtime | None = None,
     ) -> None:
         if state.get("classification_mode") != "static":
             raise ValueError(
@@ -140,13 +143,20 @@ class CompiledPipeline:
         # Compute-backend *name* shared by every executor this pipeline builds
         # (each executor owns its own backend instance; see repro.backend).
         self._backend_spec = backend
+        # The shared resource runtime every executor leases pools from; None
+        # means each executor manages a private runtime (historical lifecycle).
+        self._runtime = runtime
         self._sequential = PatchExecutor(
             plan,
             branch_hook=self._branch_hook,
             suffix_hook=self._suffix_hook,
             backend=backend,
+            runtime=runtime,
         )
+        # Sequential executors for non-default (backend, runtime) policies.
+        self._sequential_variants: dict[tuple, PatchExecutor] = {}
         self._parallel: ParallelPatchExecutor | None = None
+        self._parallel_key: tuple | None = None
         # Parallel executors replaced by a max_workers change: a live
         # StreamSession may still hold one (its lazily re-created pool must be
         # shut down again by close()).
@@ -162,6 +172,7 @@ class CompiledPipeline:
         result: QuantMCUResult,
         spec: ModelSpec | None = None,
         backend: str | None = None,
+        runtime: Runtime | None = None,
     ) -> "CompiledPipeline":
         """Freeze ``result`` into a serving artifact.
 
@@ -182,51 +193,117 @@ class CompiledPipeline:
                         layer.params["weight"], result.weight_bits
                     )
         plan = build_patch_plan(graph, state["split_output_node"], state["num_patches"])
-        return cls(graph, plan, state, spec=spec, backend=backend)
+        return cls(graph, plan, state, spec=spec, backend=backend, runtime=runtime)
 
     # ------------------------------------------------------------- inference
+    @staticmethod
+    def _legacy_executor_kwargs(
+        parallel: bool,
+        max_workers: int | None,
+        cluster: ClusterSpec | None,
+    ) -> dict:
+        """Placement keywords a caller actually used (defaults stay silent)."""
+        legacy: dict = {}
+        if parallel:
+            legacy["parallel"] = True
+        if max_workers is not None:
+            legacy["max_workers"] = max_workers
+        if cluster is not None:
+            legacy["cluster"] = cluster
+        return legacy
+
     def executor(
         self,
         parallel: bool = False,
         max_workers: int | None = None,
         cluster: ClusterSpec | None = None,
+        policy: ExecutionPolicy | None = None,
+        runtime: Runtime | None = None,
     ) -> PatchExecutor:
         """The (cached) executor backing :meth:`infer`.
 
-        ``cluster`` selects the multi-device patch-sharded path (one cached
-        :class:`~repro.distributed.DistributedExecutor` per cluster identity);
-        ``parallel`` selects the single-node patch-parallel worker pool.
+        ``policy`` selects placement and kernel backend (see
+        :class:`~repro.runtime.ExecutionPolicy`); ``runtime`` overrides the
+        resource runtime executors lease pools from (defaults to the
+        pipeline's).  The ``parallel``/``max_workers``/``cluster`` keywords
+        are the deprecated legacy surface mapped through
+        :meth:`~repro.runtime.ExecutionPolicy.resolve`.
         """
-        if cluster is not None:
+        policy = ExecutionPolicy.resolve(
+            policy, **self._legacy_executor_kwargs(parallel, max_workers, cluster)
+        )
+        return self._executor_for(policy, runtime)
+
+    def _executor_for(
+        self, policy: ExecutionPolicy, runtime: Runtime | None = None
+    ) -> PatchExecutor:
+        """Build (or serve from cache) the executor a policy describes.
+
+        Caches are keyed by placement identity *plus* backend name and
+        runtime token, so ``policy.backend`` overrides and injected runtimes
+        get their own executors instead of silently reusing one built for a
+        different backend or pool set.
+        """
+        runtime = runtime if runtime is not None else self._runtime
+        backend = policy.backend if policy.backend is not None else self._backend_spec
+        token = runtime.token if runtime is not None else None
+        placement = policy.placement
+        if placement.kind == "cluster":
+            key = (placement.cluster.cache_key, backend, token)
             with self._executor_lock:
-                executor = self._distributed.get(cluster.cache_key)
+                executor = self._distributed.get(key)
                 if executor is None:
                     executor = DistributedExecutor(
                         self.plan,
-                        cluster,
+                        placement.cluster,
                         branch_hook=self._branch_hook,
                         suffix_hook=self._suffix_hook,
-                        backend=self._backend_spec,
+                        backend=backend,
+                        runtime=runtime,
                     )
-                    self._distributed[cluster.cache_key] = executor
+                    self._distributed[key] = executor
                 return executor
-        if not parallel:
+        if placement.kind == "threads":
+            key = (placement.max_workers, backend, token)
+            with self._executor_lock:
+                replace = self._parallel is not None and (
+                    (
+                        placement.max_workers is not None
+                        and self._parallel.max_workers != placement.max_workers
+                    )
+                    or self._parallel_key[1:] != key[1:]
+                )
+                if self._parallel is None or replace:
+                    if self._parallel is not None:
+                        self._parallel.close()
+                        self._parallel_retired.append(self._parallel)
+                    self._parallel = ParallelPatchExecutor(
+                        self.plan,
+                        branch_hook=self._branch_hook,
+                        suffix_hook=self._suffix_hook,
+                        max_workers=placement.max_workers,
+                        backend=backend,
+                        runtime=runtime,
+                    )
+                    self._parallel_key = key
+                return self._parallel
+        # Local placement: the eagerly-built sequential executor, unless the
+        # policy asks for a different backend or runtime than the pipeline's.
+        if backend == self._backend_spec and runtime is self._runtime:
             return self._sequential
+        key = (backend, token)
         with self._executor_lock:
-            if self._parallel is None or (
-                max_workers is not None and self._parallel.max_workers != max_workers
-            ):
-                if self._parallel is not None:
-                    self._parallel.close()
-                    self._parallel_retired.append(self._parallel)
-                self._parallel = ParallelPatchExecutor(
+            executor = self._sequential_variants.get(key)
+            if executor is None:
+                executor = PatchExecutor(
                     self.plan,
                     branch_hook=self._branch_hook,
                     suffix_hook=self._suffix_hook,
-                    max_workers=max_workers,
-                    backend=self._backend_spec,
+                    backend=backend,
+                    runtime=runtime,
                 )
-            return self._parallel
+                self._sequential_variants[key] = executor
+            return executor
 
     def infer(
         self,
@@ -234,12 +311,27 @@ class CompiledPipeline:
         parallel: bool = False,
         max_workers: int | None = None,
         cluster: ClusterSpec | None = None,
+        policy: ExecutionPolicy | None = None,
+        runtime: Runtime | None = None,
     ) -> np.ndarray:
-        """Run quantized patch-based inference on a batch ``(N, C, H, W)``."""
+        """Run quantized patch-based inference on a batch ``(N, C, H, W)``.
+
+        A one-shot batch has no frame history, so the ``stale_halo`` tier
+        serves exactly the same bits as ``exact`` here; the ``displaced``
+        tier is a pipeline-parallel schedule and is rejected (drive it
+        through :class:`~repro.distributed.PipelineParallelScheduler`).
+        """
+        policy = ExecutionPolicy.resolve(
+            policy, **self._legacy_executor_kwargs(parallel, max_workers, cluster)
+        )
+        if policy.tier == "displaced":
+            raise ValueError(
+                "the 'displaced' tier is a pipeline-parallel schedule over "
+                "micro-batches; drive it through PipelineParallelScheduler, "
+                "not CompiledPipeline.infer"
+            )
         try:
-            return self.executor(
-                parallel=parallel, max_workers=max_workers, cluster=cluster
-            ).forward(x)
+            return self._executor_for(policy, runtime).forward(x)
         finally:
             self._clear_layer_caches()
 
@@ -260,6 +352,8 @@ class CompiledPipeline:
         accuracy_mode: str = "exact",
         drift_sample_every: int = 0,
         max_stale_frames: int | None = None,
+        policy: ExecutionPolicy | None = None,
+        runtime: Runtime | None = None,
     ) -> StreamSession:
         """Open a :class:`~repro.streaming.StreamSession` on this pipeline.
 
@@ -275,24 +369,52 @@ class CompiledPipeline:
         stale (bounded by ``max_stale_frames``), with drift vs the exact path
         sampled every ``drift_sample_every`` frames — see
         :class:`~repro.streaming.StreamSession`.
+
+        On the new surface, pass ``policy=`` instead: the policy's freshness
+        tier maps onto the stream's accuracy mode (``exact`` | ``stale_halo``;
+        the ``displaced`` tier belongs to the pipeline-parallel scheduler and
+        is rejected here).
         """
-        executor = self.executor(parallel=parallel, max_workers=max_workers, cluster=cluster)
+        legacy = self._legacy_executor_kwargs(parallel, max_workers, cluster)
+        if accuracy_mode != "exact":
+            legacy["accuracy_mode"] = accuracy_mode
+        if drift_sample_every:
+            legacy["drift_sample_every"] = drift_sample_every
+        if max_stale_frames is not None:
+            legacy["max_stale_frames"] = max_stale_frames
+        policy = ExecutionPolicy.resolve(policy, **legacy)
+        if policy.tier == "displaced":
+            raise ValueError(
+                "the 'displaced' tier is a pipeline-parallel schedule over "
+                "micro-batches; drive it through PipelineParallelScheduler, "
+                "not a stream"
+            )
+        executor = self._executor_for(policy, runtime)
         session = StreamSession(
             executor,
-            accuracy_mode=accuracy_mode,
-            drift_sample_every=drift_sample_every,
-            max_stale_frames=max_stale_frames,
+            accuracy_mode=policy.tier,
+            drift_sample_every=policy.drift_sample_every,
+            max_stale_frames=policy.max_stale_frames,
         )
         session.add_observer(lambda stats: self._clear_layer_caches())
         return session
 
     def close(self) -> None:
-        """Release executor resources: worker pools, device pools, backend scratch."""
+        """Release executor resources: worker pools, device pools, backend scratch.
+
+        Executors leasing from an injected :class:`~repro.runtime.Runtime`
+        release their leases here but leave the (shared) pools up; closing
+        the runtime itself is its owner's job.
+        """
         with self._executor_lock:
             self._sequential.close()
+            for executor in self._sequential_variants.values():
+                executor.close()
+            self._sequential_variants.clear()
             if self._parallel is not None:
                 self._parallel.close()
                 self._parallel = None
+                self._parallel_key = None
             for executor in self._parallel_retired:
                 executor.close()  # a session may have lazily revived its pool
             self._parallel_retired.clear()
@@ -405,6 +527,9 @@ def compile_pipeline(
     result: QuantMCUResult,
     spec: ModelSpec | None = None,
     backend: str | None = None,
+    runtime: Runtime | None = None,
 ) -> CompiledPipeline:
     """Functional alias for :meth:`CompiledPipeline.from_result`."""
-    return CompiledPipeline.from_result(pipeline, result, spec=spec, backend=backend)
+    return CompiledPipeline.from_result(
+        pipeline, result, spec=spec, backend=backend, runtime=runtime
+    )

@@ -180,6 +180,7 @@ class StreamSession:
             raise ValueError("max_stale_frames must be >= 0 (or None for unbounded)")
         self.executor = executor
         self.plan = executor.plan
+        self._closed = False
         self.accuracy_mode = accuracy_mode
         self.drift_sample_every = drift_sample_every
         self.max_stale_frames = max_stale_frames
@@ -256,6 +257,23 @@ class StreamSession:
         self._stitched = None
         self._stale_age.clear()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """End the stream: drop cached frames and refuse further processing.
+
+        Idempotent.  The backing executor is owned by the pipeline (or
+        whoever constructed the session), so it is *not* closed here; the
+        session only severs its own per-stream state.  Cumulative
+        :meth:`stats` stay readable after close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.reset()
+
     def process(self, frame: np.ndarray) -> np.ndarray:
         """Serve one frame, re-executing only the branches its changes touch.
 
@@ -264,6 +282,10 @@ class StreamSession:
         output).  The first frame after construction or :meth:`reset` is a
         full recomputation; later frames reuse every clean branch.
         """
+        if self._closed:
+            raise RuntimeError(
+                "this StreamSession is closed; open a new stream to process frames"
+            )
         started = time.perf_counter()
         x = np.asarray(frame, dtype=np.float32)
         single = x.ndim == 3

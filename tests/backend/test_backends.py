@@ -43,7 +43,10 @@ def small_input(rng, small_plan):
 
 # ---------------------------------------------------------------- selection
 class TestBackendSelection:
-    def test_default_is_vectorized(self, small_plan):
+    def test_default_is_vectorized(self, small_plan, monkeypatch):
+        # The env-free default: an inherited REPRO_BACKEND (e.g. the CI
+        # multiprocess smoke job) must not leak into this assertion.
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         assert DEFAULT_BACKEND == "vectorized"
         with PatchExecutor(small_plan) as executor:
             assert isinstance(executor.backend, VectorizedBackend)

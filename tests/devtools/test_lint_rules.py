@@ -1,4 +1,4 @@
-"""Fixture tests for the seven project lint rules.
+"""Fixture tests for the eight project lint rules.
 
 Every rule gets at least one failing fixture (the distilled shape of the
 historical bug it encodes) and one passing fixture (the shape the fix took),
@@ -162,7 +162,8 @@ class TestUnownedCloseable:
                 futures = [pool.submit(t) for t in tasks]
                 results = [f.result() for f in futures]
                 return results
-            """
+            """,
+            rules=["REP003"],
         )
         assert codes(findings) == ["REP003"]
         assert "ThreadPoolExecutor" in findings[0].message
@@ -177,7 +178,8 @@ class TestUnownedCloseable:
             def run(tasks):
                 pool = ThreadPoolExecutor(max_workers=2)
                 return pool, [pool.submit(t) for t in tasks]
-            """
+            """,
+            rules=["REP003"],
         )
         assert findings == []
 
@@ -189,7 +191,8 @@ class TestUnownedCloseable:
             def run(tasks):
                 with ThreadPoolExecutor(max_workers=2) as pool:
                     return [f.result() for f in [pool.submit(t) for t in tasks]]
-            """
+            """,
+            rules=["REP003"],
         )
         assert findings == []
 
@@ -204,7 +207,8 @@ class TestUnownedCloseable:
                     return [f.result() for f in [pool.submit(t) for t in tasks]]
                 finally:
                     pool.shutdown()
-            """
+            """,
+            rules=["REP003"],
         )
         assert findings == []
 
@@ -216,7 +220,8 @@ class TestUnownedCloseable:
 
             def make_pool():
                 return ThreadPoolExecutor(max_workers=2)
-            """
+            """,
+            rules=["REP003"],
         )
         assert findings == []
 
@@ -231,7 +236,8 @@ class TestUnownedCloseable:
 
                 def close(self):
                     self._pool.shutdown()
-            """
+            """,
+            rules=["REP003"],
         )
         assert findings == []
 
@@ -243,7 +249,8 @@ class TestUnownedCloseable:
             class Engine:
                 def __init__(self):
                     self._pool = ThreadPoolExecutor(max_workers=2)
-            """
+            """,
+            rules=["REP003"],
         )
         assert codes(findings) == ["REP003"]
 
@@ -255,7 +262,8 @@ class TestUnownedCloseable:
             def leak():
                 ex = ParallelPatchExecutor(num_workers=2)
                 ex.map(None, [])
-            """
+            """,
+            rules=["REP003"],
         )
         assert codes(findings) == ["REP003"]
 
@@ -543,5 +551,93 @@ class TestHotLoopOverPatchDomain:
             """,
             path=HOT_PATH,
             rules=["REP007"],
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------------- REP008
+class TestResourceOutsideRuntime:
+    def test_thread_pool_outside_runtime_flagged(self):
+        findings = lint(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Engine:
+                def __init__(self):
+                    self._pool = ThreadPoolExecutor(max_workers=2)
+
+                def close(self):
+                    self._pool.shutdown()
+            """,
+            path="src/repro/serving/engine.py",
+            rules=["REP008"],
+        )
+        assert codes(findings) == ["REP008"]
+        assert "lease it from a Runtime" in findings[0].message
+
+    def test_context_bound_fork_pool_flagged(self):
+        """ctx.Pool(...) has a Call base, which resolve_dotted cannot see
+        through; the rule must match on the leaf attribute name."""
+        findings = lint(
+            """
+            import multiprocessing
+
+            def make_pool(n):
+                return multiprocessing.get_context("fork").Pool(processes=n)
+            """,
+            path="src/repro/backend/multiprocess.py",
+            rules=["REP008"],
+        )
+        assert codes(findings) == ["REP008"]
+        assert "Pool" in findings[0].message
+
+    def test_shared_memory_flagged(self):
+        findings = lint(
+            """
+            from multiprocessing import shared_memory
+
+            def segment(size):
+                return shared_memory.SharedMemory(create=True, size=size)
+            """,
+            path="src/repro/backend/multiprocess.py",
+            rules=["REP008"],
+        )
+        assert codes(findings) == ["REP008"]
+
+    def test_runtime_package_exempt(self):
+        findings = lint(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Runtime:
+                def thread_pool(self, n):
+                    return ThreadPoolExecutor(max_workers=n)
+            """,
+            path="src/repro/runtime/resources.py",
+            rules=["REP008"],
+        )
+        assert findings == []
+
+    def test_tests_exempt(self):
+        source = """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def test_concurrent(tmp_path):
+                with ThreadPoolExecutor(max_workers=4) as pool:
+                    pool.submit(print)
+            """
+        assert lint(source, path="tests/runtime/test_runtime.py", rules=["REP008"]) == []
+
+    def test_noqa_with_reason_suppresses(self):
+        findings = lint(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def probe():
+                pool = ThreadPoolExecutor(max_workers=1)  # repro: noqa[REP008] - probe harness
+                pool.shutdown()
+            """,
+            path="src/repro/devtools/probe.py",
+            rules=["REP008"],
         )
         assert findings == []

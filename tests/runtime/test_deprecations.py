@@ -1,0 +1,165 @@
+"""Legacy kwargs still work, warn once, and match their policy equivalents.
+
+Each historical knob (``parallel=``, ``parallel_patches=``, ``max_workers=``,
+``cluster=``, ``accuracy_mode=``) is now a thin shim over
+:meth:`ExecutionPolicy.resolve`: it must emit a :class:`DeprecationWarning`
+pointing at the replacement and produce bit-identical behavior to the
+explicit policy spelling.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.runtime import ExecutionPolicy, cluster, threads
+from repro.serving import InferenceEngine, compile_pipeline
+from repro.serving.parallel import ParallelPatchExecutor
+from repro.distributed import DistributedExecutor
+
+from fixtures import quantize_zoo_model
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return quantize_zoo_model()
+
+
+@pytest.fixture(scope="module")
+def compiled(artifact):
+    spec, pipeline, result = artifact
+    compiled = compile_pipeline(pipeline, result, spec=spec)
+    yield compiled
+    compiled.close()
+
+
+@pytest.fixture
+def frame(artifact):
+    spec, _, _ = artifact
+    rng = np.random.default_rng(23)
+    return rng.standard_normal((1, 3, spec.resolution, spec.resolution)).astype(
+        np.float32
+    )
+
+
+class TestPipelineShims:
+    def test_executor_parallel_kwarg(self, compiled):
+        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+            legacy = compiled.executor(parallel=True, max_workers=2)
+        modern = compiled.executor(policy=ExecutionPolicy(placement=threads(2)))
+        assert legacy is modern
+        assert isinstance(legacy, ParallelPatchExecutor)
+
+    def test_executor_cluster_kwarg(self, compiled):
+        spec = make_cluster("stm32h743", 2)
+        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+            legacy = compiled.executor(cluster=spec)
+        modern = compiled.executor(policy=ExecutionPolicy(placement=cluster(spec)))
+        assert legacy is modern
+        assert isinstance(legacy, DistributedExecutor)
+
+    def test_infer_parallel_kwarg_matches_policy(self, compiled, frame):
+        expected = compiled.infer(frame)
+        with pytest.warns(DeprecationWarning):
+            legacy = compiled.infer(frame, parallel=True)
+        modern = compiled.infer(frame, policy=ExecutionPolicy(placement=threads()))
+        np.testing.assert_array_equal(legacy, expected)
+        np.testing.assert_array_equal(modern, expected)
+
+    def test_open_stream_accuracy_mode_kwarg(self, compiled, frame):
+        with pytest.warns(DeprecationWarning, match="accuracy_mode"):
+            legacy = compiled.open_stream(accuracy_mode="stale_halo", max_stale_frames=2)
+        modern = compiled.open_stream(
+            policy=ExecutionPolicy(tier="stale_halo", max_stale_frames=2)
+        )
+        try:
+            assert legacy.accuracy_mode == modern.accuracy_mode == "stale_halo"
+            assert legacy.max_stale_frames == modern.max_stale_frames == 2
+            np.testing.assert_array_equal(
+                legacy.process(frame[0]), modern.process(frame[0])
+            )
+        finally:
+            legacy.close()
+            modern.close()
+
+    def test_modern_surface_is_warning_free(self, compiled, frame):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            compiled.infer(frame, policy=ExecutionPolicy(placement=threads(2)))
+            session = compiled.open_stream(policy=ExecutionPolicy())
+            session.process(frame[0])
+            session.close()
+
+
+class TestEngineShims:
+    def test_parallel_patches_kwarg(self, artifact, compiled, frame):
+        with pytest.warns(DeprecationWarning, match="parallel_patches"):
+            engine = InferenceEngine(
+                compiled, batch_timeout_s=0.001, parallel_patches=True
+            )
+        try:
+            assert engine.parallel_patches
+            assert engine.policy.placement.kind == "threads"
+            legacy_out = engine.infer(frame[0])
+        finally:
+            engine.close()
+        modern = InferenceEngine(
+            compiled,
+            batch_timeout_s=0.001,
+            policy=ExecutionPolicy(placement=threads()),
+        )
+        try:
+            np.testing.assert_array_equal(modern.infer(frame[0]), legacy_out)
+        finally:
+            modern.close()
+
+    def test_cluster_kwarg(self, compiled):
+        spec = make_cluster("stm32h743", 2)
+        with pytest.warns(DeprecationWarning, match="cluster"):
+            engine = InferenceEngine(compiled, batch_timeout_s=0.001, cluster=spec)
+        try:
+            assert engine.cluster is spec
+            assert engine.policy.placement == cluster(spec)
+        finally:
+            engine.close()
+
+    def test_historical_mutual_exclusion_error_preserved(self, compiled):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(
+                ValueError, match="parallel_patches and cluster are mutually exclusive"
+            ):
+                InferenceEngine(
+                    compiled,
+                    parallel_patches=True,
+                    cluster=make_cluster("stm32h743", 2),
+                )
+
+    def test_engine_open_stream_accuracy_mode(self, compiled, frame):
+        engine = InferenceEngine(compiled, batch_timeout_s=0.001)
+        try:
+            with pytest.warns(DeprecationWarning, match="accuracy_mode"):
+                session = engine.open_stream(accuracy_mode="stale_halo")
+            assert session.accuracy_mode == "stale_halo"
+            session.close()
+        finally:
+            engine.close()
+
+    def test_modern_engine_is_warning_free(self, compiled, frame):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = InferenceEngine(
+                compiled,
+                batch_timeout_s=0.001,
+                policy=ExecutionPolicy(placement=threads(2)),
+            )
+            try:
+                engine.infer(frame[0])
+                session = engine.open_stream()
+                session.process(frame[0])
+                session.close()
+            finally:
+                engine.close()

@@ -1,0 +1,132 @@
+"""Bit-identity across the full (placement x backend x tier) policy matrix.
+
+The execution contract of the whole stack: for a given freshness tier, every
+valid combination of placement (local / threads / cluster) and kernel backend
+(loop / vectorized / multiprocess) must produce *identical bits* on both zoo
+deployments.  The tier picks the surface it is served through — ``exact``
+via :meth:`CompiledPipeline.infer`, ``stale_halo`` via a stream session,
+``displaced`` via the pipeline-parallel scheduler (cluster placement only).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.distributed import PipelineParallelScheduler
+from repro.hardware.cluster import make_cluster
+from repro.runtime import ExecutionPolicy, Placement, cluster, local, threads
+from repro.serving import compile_pipeline
+
+from fixtures import quantize_zoo_model
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+BACKENDS = ["loop", "vectorized"] + (["multiprocess"] if HAVE_FORK else [])
+
+MODELS = [
+    pytest.param(dict(model_name="mobilenetv2", resolution=32), id="mobilenetv2@32"),
+    pytest.param(dict(model_name="mcunet", resolution=48), id="mcunet@48"),
+]
+
+
+def _placements():
+    return {
+        "local": local(),
+        "threads": threads(2),
+        "cluster": cluster(make_cluster("stm32h743", 2)),
+    }
+
+
+@pytest.fixture(scope="module", params=MODELS)
+def deployment(request):
+    spec, pipeline, result = quantize_zoo_model(**request.param)
+    compiled = compile_pipeline(pipeline, result, spec=spec)
+    rng = np.random.default_rng(17)
+    shape = (3, spec.resolution, spec.resolution)
+    frames = [rng.standard_normal(shape).astype(np.float32)]
+    for _ in range(2):
+        nxt = frames[-1].copy()
+        # Perturb one tile-sized region so streaming has dirty + clean tiles.
+        nxt[:, : shape[1] // 2, : shape[2] // 2] += rng.standard_normal(
+            (3, shape[1] // 2, shape[2] // 2)
+        ).astype(np.float32)
+        frames.append(nxt)
+    yield compiled, frames
+    compiled.close()
+
+
+def _matrix_cells():
+    return [
+        pytest.param(kind, backend, id=f"{kind}-{backend}")
+        for kind in ("local", "threads", "cluster")
+        for backend in BACKENDS
+    ]
+
+
+class TestExactTier:
+    @pytest.mark.parametrize("kind,backend", _matrix_cells())
+    def test_cell_matches_reference(self, deployment, kind, backend):
+        compiled, frames = deployment
+        x = frames[0][None]
+        reference = compiled.infer(
+            x, policy=ExecutionPolicy(placement=local(), backend="loop")
+        )
+        policy = ExecutionPolicy(placement=_placements()[kind], backend=backend)
+        assert policy.tier == "exact"
+        np.testing.assert_array_equal(compiled.infer(x, policy=policy), reference)
+
+
+class TestStaleHaloTier:
+    @pytest.mark.parametrize("kind,backend", _matrix_cells())
+    def test_cell_matches_reference_stream(self, deployment, kind, backend):
+        compiled, frames = deployment
+
+        def run(policy):
+            session = compiled.open_stream(policy=policy)
+            try:
+                return [session.process(frame).copy() for frame in frames]
+            finally:
+                session.close()
+
+        stale = dict(tier="stale_halo", max_stale_frames=2)
+        reference = run(ExecutionPolicy(placement=local(), backend="loop", **stale))
+        outputs = run(
+            ExecutionPolicy(placement=_placements()[kind], backend=backend, **stale)
+        )
+        for out, ref in zip(outputs, reference):
+            np.testing.assert_array_equal(out, ref)
+
+
+class TestDisplacedTier:
+    """``displaced`` is a cluster-only tier: the scheduler pipelines
+    micro-batches across devices and verify-patches the stale halos back to
+    exact bits, so its outputs must equal the exact tier's."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cluster_cell_matches_exact(self, deployment, backend):
+        compiled, frames = deployment
+        batches = [frame[None] for frame in frames]
+        spec = make_cluster("stm32h743", 2)
+        policy = ExecutionPolicy(
+            placement=cluster(spec), backend=backend, tier="displaced"
+        )
+        executor = compiled.executor(policy=policy.with_tier("exact"))
+        expected = [
+            compiled.infer(x, policy=ExecutionPolicy(placement=local(), backend="loop"))
+            for x in batches
+        ]
+        scheduler = PipelineParallelScheduler(executor, policy=policy)
+        outputs = scheduler.run(batches)
+        for out, ref in zip(outputs, expected):
+            np.testing.assert_array_equal(out, ref)
+
+    def test_displaced_rejected_off_cluster(self, deployment):
+        compiled, frames = deployment
+        policy = ExecutionPolicy(placement=local(), tier="displaced")
+        with pytest.raises(ValueError, match="displaced"):
+            compiled.infer(frames[0][None], policy=policy)
+        with pytest.raises(ValueError, match="displaced"):
+            compiled.open_stream(policy=policy)
